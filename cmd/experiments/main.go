@@ -1,0 +1,58 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation in one run and prints a consolidated report (the
+// source of EXPERIMENTS.md's measured column).
+//
+// Usage:
+//
+//	experiments [-scale 0.05]
+//
+// Scale 1 reproduces the full-size experiments; expect graph-mining
+// sections to take correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"tnkd/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "synthetic dataset scale in (0, 1]")
+	flag.Parse()
+
+	start := time.Now()
+	p := experiments.NewParams(*scale)
+	fmt.Printf("# Knowledge Discovery from Transportation Network Data — reproduction report\n")
+	fmt.Printf("# scale=%.3f transactions=%d\n\n", *scale, p.Data.Len())
+
+	sections := []struct {
+		name string
+		run  func() fmt.Stringer
+	}{
+		{"Table 1", func() fmt.Stringer { return experiments.RunTable1(p) }},
+		{"Figure 1", func() fmt.Stringer { return experiments.RunFigure1(p) }},
+		{"Section 5.1 (Size)", func() fmt.Stringer { return experiments.RunSection51Size(p) }},
+		{"Section 5.1 (scaling)", func() fmt.Stringer { return experiments.RunSection51Scaling(p, nil) }},
+		{"Figure 2", func() fmt.Stringer { return experiments.RunFigure2(p) }},
+		{"Figure 3", func() fmt.Stringer { return experiments.RunFigure3(p) }},
+		{"Section 5.2.2 sweep", func() fmt.Stringer { return experiments.RunSection522Sweep(p) }},
+		{"Footnote 2 recall", func() fmt.Stringer { return experiments.RunFootnote2(p) }},
+		{"Table 2", func() fmt.Stringer { return experiments.RunTable2(p) }},
+		{"Table 3", func() fmt.Stringer { return experiments.RunTable3(p) }},
+		{"Figure 4", func() fmt.Stringer { return experiments.RunFigure4(p) }},
+		{"Section 8 blow-up", func() fmt.Stringer { return experiments.RunSection8(p, 0) }},
+		{"Section 7.1", func() fmt.Stringer { return experiments.RunSection71(p) }},
+		{"Section 7.2", func() fmt.Stringer { return experiments.RunSection72(p) }},
+		{"Figures 5 & 6", func() fmt.Stringer { return experiments.RunFigure56(p) }},
+		{"Section 9 extensions", func() fmt.Stringer { return experiments.RunSection9(p) }},
+	}
+	for _, s := range sections {
+		t0 := time.Now()
+		out := s.run()
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %v]\n\n", s.name, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("# total: %v\n", time.Since(start).Round(time.Millisecond))
+}

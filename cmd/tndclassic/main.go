@@ -1,0 +1,37 @@
+// Command tndclassic runs the Section 7 conventional-mining
+// experiments: Apriori association rules (7.1), C4.5-style
+// classification (7.2) and EM clustering (7.3 / Figures 5 and 6).
+//
+// Usage:
+//
+//	tndclassic [-scale 0.05] [-assoc] [-classify] [-cluster]
+//
+// With no selection flags, all three run.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tnkd/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "synthetic dataset scale")
+	assoc := flag.Bool("assoc", false, "association rules only")
+	classify := flag.Bool("classify", false, "classification only")
+	cluster := flag.Bool("cluster", false, "clustering only")
+	flag.Parse()
+
+	all := !*assoc && !*classify && !*cluster
+	p := experiments.NewParams(*scale)
+	if all || *assoc {
+		fmt.Print(experiments.RunSection71(p))
+	}
+	if all || *classify {
+		fmt.Print(experiments.RunSection72(p))
+	}
+	if all || *cluster {
+		fmt.Print(experiments.RunFigure56(p))
+	}
+}

@@ -1,0 +1,44 @@
+// Command tndfsg runs the Section 5.2 structural experiments:
+// Algorithm 1 (partition the single OD graph breadth- or depth-first,
+// mine frequent subgraphs across partitions) plus the partition-size
+// sweep and the planted-pattern recall study.
+//
+// Usage:
+//
+//	tndfsg [-scale 0.05] [-strategy bf|df] [-sweep] [-recall]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"tnkd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tndfsg: ")
+	scale := flag.Float64("scale", 0.05, "synthetic dataset scale")
+	strategy := flag.String("strategy", "bf", "partitioning strategy: bf or df")
+	sweep := flag.Bool("sweep", false, "run the partition-size sweep (Section 5.2.2)")
+	recall := flag.Bool("recall", false, "run the planted-pattern recall study (footnote 2)")
+	flag.Parse()
+
+	p := experiments.NewParams(*scale)
+	switch strings.ToLower(*strategy) {
+	case "bf":
+		fmt.Print(experiments.RunFigure2(p))
+	case "df":
+		fmt.Print(experiments.RunFigure3(p))
+	default:
+		log.Fatalf("unknown strategy %q (want bf or df)", *strategy)
+	}
+	if *sweep {
+		fmt.Print(experiments.RunSection522Sweep(p))
+	}
+	if *recall {
+		fmt.Print(experiments.RunFootnote2(p))
+	}
+}

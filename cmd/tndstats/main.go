@@ -1,0 +1,47 @@
+// Command tndstats prints the Section 3 / Table 1 data description
+// for a dataset: transaction counts, distinct locations and OD pairs,
+// attribute ranges, and OD-graph degree statistics.
+//
+// Usage:
+//
+//	tndstats [-in file.csv | -scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tnkd"
+	"tnkd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tndstats: ")
+	in := flag.String("in", "", "input CSV (default: generate synthetic data)")
+	scale := flag.Float64("scale", 1.0, "synthetic dataset scale when no -in")
+	flag.Parse()
+
+	var data *tnkd.Dataset
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		data, err = tnkd.ReadCSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := tnkd.DefaultConfig()
+		if *scale < 1 {
+			cfg = tnkd.ScaledConfig(*scale)
+		}
+		data = tnkd.GenerateDataset(cfg)
+	}
+	res := experiments.RunTable1(experiments.Params{Data: data, Scale: *scale})
+	fmt.Print(res)
+}

@@ -1,0 +1,39 @@
+// Command tndsubdue runs the Section 5.1 SUBDUE experiments: beam
+// search substructure discovery on a truncated, uniformly labeled OD
+// graph, under the MDL or Size principle.
+//
+// Usage:
+//
+//	tndsubdue [-scale 0.1] [-principle mdl|size] [-scaling]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"tnkd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tndsubdue: ")
+	scale := flag.Float64("scale", 0.1, "synthetic dataset scale")
+	principle := flag.String("principle", "mdl", "evaluation principle: mdl or size")
+	scaling := flag.Bool("scaling", false, "also run the runtime-scaling series")
+	flag.Parse()
+
+	p := experiments.NewParams(*scale)
+	switch strings.ToLower(*principle) {
+	case "mdl":
+		fmt.Print(experiments.RunFigure1(p))
+	case "size":
+		fmt.Print(experiments.RunSection51Size(p))
+	default:
+		log.Fatalf("unknown principle %q (want mdl or size)", *principle)
+	}
+	if *scaling {
+		fmt.Print(experiments.RunSection51Scaling(p, nil))
+	}
+}

@@ -1,0 +1,39 @@
+// Command tndtemporal runs the Section 6 temporal experiments:
+// per-day partitioning statistics (Tables 2 and 3) and frequent
+// repeated-route mining (Figure 4), plus the Section 8 candidate
+// blow-up study.
+//
+// Usage:
+//
+//	tndtemporal [-scale 0.05] [-mine] [-blowup]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tnkd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tndtemporal: ")
+	scale := flag.Float64("scale", 0.05, "synthetic dataset scale")
+	mine := flag.Bool("mine", true, "run frequent-pattern mining (Figure 4)")
+	blowup := flag.Bool("blowup", false, "run the Section 8 candidate blow-up study")
+	flag.Parse()
+
+	p := experiments.NewParams(*scale)
+	fmt.Print(experiments.RunTable2(p))
+	fmt.Println()
+	fmt.Print(experiments.RunTable3(p))
+	if *mine {
+		fmt.Println()
+		fmt.Print(experiments.RunFigure4(p))
+	}
+	if *blowup {
+		fmt.Println()
+		fmt.Print(experiments.RunSection8(p, 0))
+	}
+}

@@ -1,0 +1,85 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+)
+
+func path3() *graph.Graph {
+	g := graph.New("p")
+	a := g.AddVertex("*")
+	b := g.AddVertex("*")
+	c := g.AddVertex("*")
+	g.AddEdge(a, b, "x")
+	g.AddEdge(b, c, "y")
+	return g
+}
+
+func TestMineEnumeratesAllSubgraphs(t *testing.T) {
+	// Two identical 2-edge paths: patterns are x, y, and x->y path,
+	// each with support 2.
+	txns := []*graph.Graph{path3(), path3()}
+	got := Mine(txns, 2, 3)
+	if len(got) != 3 {
+		for _, p := range got {
+			t.Logf("sup=%d\n%s", p.Support, p.Graph.Dump())
+		}
+		t.Fatalf("patterns = %d, want 3", len(got))
+	}
+	for _, p := range got {
+		if p.Support != 2 {
+			t.Errorf("support = %d, want 2", p.Support)
+		}
+	}
+}
+
+func TestMineSupportThreshold(t *testing.T) {
+	single := graph.New("s")
+	a := single.AddVertex("*")
+	b := single.AddVertex("*")
+	single.AddEdge(a, b, "x")
+	txns := []*graph.Graph{path3(), single}
+	got := Mine(txns, 2, 3)
+	// Only the x edge is shared.
+	if len(got) != 1 {
+		t.Fatalf("patterns = %d, want 1", len(got))
+	}
+	want := graph.New("w")
+	wa := want.AddVertex("*")
+	wb := want.AddVertex("*")
+	want.AddEdge(wa, wb, "x")
+	if !iso.Isomorphic(got[0].Graph, want) {
+		t.Fatalf("wrong pattern:\n%s", got[0].Graph.Dump())
+	}
+}
+
+func TestMineMaxEdgesBound(t *testing.T) {
+	txns := []*graph.Graph{path3(), path3()}
+	got := Mine(txns, 2, 1)
+	for _, p := range got {
+		if p.Graph.NumEdges() > 1 {
+			t.Fatalf("pattern exceeds edge bound:\n%s", p.Graph.Dump())
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("1-edge patterns = %d, want 2", len(got))
+	}
+}
+
+func TestMinePerTransactionDistinctness(t *testing.T) {
+	// A transaction with two disjoint copies of the same edge pattern
+	// still contributes support 1 for that pattern.
+	g := graph.New("d")
+	a := g.AddVertex("*")
+	b := g.AddVertex("*")
+	c := g.AddVertex("*")
+	d := g.AddVertex("*")
+	g.AddEdge(a, b, "x")
+	g.AddEdge(c, d, "x")
+	got := Mine([]*graph.Graph{g}, 1, 1)
+	if len(got) != 1 || got[0].Support != 1 {
+		t.Fatalf("got %+v, want one pattern with support 1", got)
+	}
+}

@@ -1,0 +1,344 @@
+// Package core wires the substrates into the paper's three mining
+// pipelines — its primary contribution:
+//
+//  1. Structural similarity mining (Section 5): partition the single
+//     OD graph with breadth-/depth-first SplitGraph and mine frequent
+//     subgraphs across partitions, repeated with different random
+//     partitionings (Algorithm 1).
+//  2. Temporally repeated routes (Section 6): partition by active
+//     day with unique location labels and mine frequent subgraphs
+//     across days.
+//  3. Conventional mining (Section 7): flatten transactions into
+//     nominal/numeric tables and run association rules,
+//     classification and clustering.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tnkd/internal/bin"
+	"tnkd/internal/dataset"
+	"tnkd/internal/fsg"
+	"tnkd/internal/graph"
+	"tnkd/internal/partition"
+)
+
+// StructuralOptions configures Algorithm 1.
+type StructuralOptions struct {
+	// Strategy is the SplitGraph traversal order.
+	Strategy partition.Strategy
+	// Partitions is Algorithm 1's k (the paper sweeps 400, 800,
+	// 1200, 1600).
+	Partitions int
+	// Repetitions is Algorithm 1's m: the number of independent
+	// random partitionings whose results are unioned.
+	Repetitions int
+	// Support is the absolute per-partitioning support threshold
+	// (the paper used 240 for breadth-first, 120 for depth-first).
+	Support int
+	// MaxEdges caps pattern size (0 = unlimited).
+	MaxEdges int
+	// MaxSteps bounds individual isomorphism tests.
+	MaxSteps int
+	// MaxCandidates bounds FSG's per-level candidate sets.
+	MaxCandidates int
+	// Seed drives the random partitionings.
+	Seed int64
+}
+
+// DefaultStructuralOptions mirrors the paper's breadth-first run.
+func DefaultStructuralOptions() StructuralOptions {
+	return StructuralOptions{
+		Strategy:    partition.BreadthFirst,
+		Partitions:  800,
+		Repetitions: 3,
+		Support:     240,
+		MaxEdges:    6,
+		MaxSteps:    200000,
+	}
+}
+
+// StructuralPattern is a frequent pattern found by Algorithm 1,
+// unioned across repetitions.
+type StructuralPattern struct {
+	Graph *graph.Graph
+	Code  string
+	// Support is the maximum per-partitioning support observed.
+	Support int
+	// Runs is the number of repetitions in which the pattern was
+	// frequent.
+	Runs int
+}
+
+// StructuralResult is the outcome of Algorithm 1.
+type StructuralResult struct {
+	Patterns []StructuralPattern
+	// PerRun records each repetition's raw FSG result.
+	PerRun []*fsg.Result
+	// PartitionCounts records the number of partitions produced per
+	// repetition (can exceed k when the graph disconnects).
+	PartitionCounts []int
+}
+
+// MaxPattern returns the largest pattern (edges, then support).
+func (r *StructuralResult) MaxPattern() *StructuralPattern {
+	var best *StructuralPattern
+	for i := range r.Patterns {
+		p := &r.Patterns[i]
+		if best == nil || p.Graph.NumEdges() > best.Graph.NumEdges() ||
+			(p.Graph.NumEdges() == best.Graph.NumEdges() && p.Support > best.Support) {
+			best = p
+		}
+	}
+	return best
+}
+
+// MineStructural implements Algorithm 1: repeatedly partition the
+// single graph and mine each partitioning as a transaction set,
+// unioning the discovered frequent subgraphs. If a subgraph is
+// frequent under one partitioning it is frequent in the entire graph;
+// repetition reduces false drops from patterns split by partition
+// boundaries.
+func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, error) {
+	if opts.Partitions < 1 {
+		return nil, fmt.Errorf("core: Partitions %d < 1", opts.Partitions)
+	}
+	if opts.Repetitions < 1 {
+		return nil, fmt.Errorf("core: Repetitions %d < 1", opts.Repetitions)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &StructuralResult{}
+	byCode := make(map[string]*StructuralPattern)
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		parts := partition.SplitGraph(g, partition.SplitOptions{
+			K:        opts.Partitions,
+			Strategy: opts.Strategy,
+			Rand:     rng,
+		})
+		res.PartitionCounts = append(res.PartitionCounts, len(parts))
+		runRes, err := fsg.Mine(parts, fsg.Options{
+			MinSupport:    opts.Support,
+			MaxEdges:      opts.MaxEdges,
+			MaxSteps:      opts.MaxSteps,
+			MaxCandidates: opts.MaxCandidates,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: repetition %d: %w", rep, err)
+		}
+		res.PerRun = append(res.PerRun, runRes)
+		for i := range runRes.Patterns {
+			p := &runRes.Patterns[i]
+			if existing, ok := byCode[p.Code]; ok {
+				existing.Runs++
+				if p.Support > existing.Support {
+					existing.Support = p.Support
+				}
+				continue
+			}
+			byCode[p.Code] = &StructuralPattern{
+				Graph: p.Graph, Code: p.Code, Support: p.Support, Runs: 1,
+			}
+		}
+	}
+	codes := make([]string, 0, len(byCode))
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		res.Patterns = append(res.Patterns, *byCode[c])
+	}
+	sort.SliceStable(res.Patterns, func(i, j int) bool {
+		pi, pj := &res.Patterns[i], &res.Patterns[j]
+		if pi.Graph.NumEdges() != pj.Graph.NumEdges() {
+			return pi.Graph.NumEdges() > pj.Graph.NumEdges()
+		}
+		return pi.Support > pj.Support
+	})
+	return res, nil
+}
+
+// TemporalMineOptions configures the Section 6 pipeline.
+type TemporalMineOptions struct {
+	Partition partition.TemporalOptions
+	// SupportFraction is FSG's relative support (paper: 0.05).
+	SupportFraction float64
+	MaxEdges        int
+	MaxSteps        int
+	MaxCandidates   int
+}
+
+// DefaultTemporalMineOptions mirrors the paper's successful run:
+// gross-weight labels, component splitting, duplicate removal,
+// single-edge filtering, vertex-label cap 200, 5% support.
+func DefaultTemporalMineOptions() TemporalMineOptions {
+	p := partition.DefaultTemporalOptions()
+	p.MaxVertexLabels = 200
+	return TemporalMineOptions{
+		Partition:       p,
+		SupportFraction: 0.05,
+		MaxEdges:        8,
+		MaxSteps:        200000,
+	}
+}
+
+// TemporalMineResult is the Section 6 outcome.
+type TemporalMineResult struct {
+	Partition *partition.TemporalResult
+	Stats     graph.TransactionStats
+	Support   int // absolute support used
+	Mining    *fsg.Result
+}
+
+// MineTemporal partitions by day and mines the repeated routes.
+func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineResult, error) {
+	if opts.SupportFraction <= 0 || opts.SupportFraction > 1 {
+		return nil, fmt.Errorf("core: SupportFraction %f out of (0, 1]", opts.SupportFraction)
+	}
+	part := partition.Temporal(d, opts.Partition)
+	stats := part.Stats()
+	support := fsg.MinSupportFraction(len(part.Transactions), opts.SupportFraction)
+	mined, err := fsg.Mine(part.Transactions, fsg.Options{
+		MinSupport:    support,
+		MaxEdges:      opts.MaxEdges,
+		MaxSteps:      opts.MaxSteps,
+		MaxCandidates: opts.MaxCandidates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TemporalMineResult{
+		Partition: part,
+		Stats:     stats,
+		Support:   support,
+		Mining:    mined,
+	}, nil
+}
+
+// RelationalSchema is the attribute order produced by Discretize:
+// the Table 1 attributes minus the two date columns the paper
+// excluded (Weka mapped DATE to REAL, making results uninterpretable)
+// and the transaction ID.
+var RelationalSchema = []string{
+	"ORIGIN_LATITUDE", "ORIGIN_LONGITUDE",
+	"DEST_LATITUDE", "DEST_LONGITUDE",
+	"TOTAL_DISTANCE", "GROSS_WEIGHT", "MOVE_TRANSIT_HOURS", "TRANS_MODE",
+}
+
+// DiscretizeConfig sets the per-attribute binners used to nominalise
+// the numeric attributes.
+type DiscretizeConfig struct {
+	LatBins, LonBins int
+	DistBins, WtBins int
+	HourBins         int
+
+	observedLat  bin.Binner
+	observedLon  bin.Binner
+	observedDist bin.Binner
+	observedWt   bin.Binner
+	observedHrs  bin.Binner
+}
+
+// DefaultDiscretizeConfig mirrors Weka's unsupervised discretiser in
+// equal-frequency mode with 10 bins per numeric attribute (7 for
+// gross weight, the paper's bin count). Equal-frequency is essential
+// here because weight and distance have heavy-tailed ranges — under
+// equal-width binning the project-cargo outliers would collapse
+// virtually all loads into one bin and erase the weight→mode signal
+// the paper reports.
+func DefaultDiscretizeConfig() DiscretizeConfig {
+	return DiscretizeConfig{LatBins: 7, LonBins: 10, DistBins: 10, WtBins: 7, HourBins: 10}
+}
+
+// Discretize nominalises the dataset over RelationalSchema using
+// equal-frequency bins computed from the observed values.
+func Discretize(d *dataset.Dataset, cfg DiscretizeConfig) (attrs []string, rows [][]string) {
+	cfg.fit(d)
+	attrs = RelationalSchema
+	rows = make([][]string, 0, len(d.Transactions))
+	for _, t := range d.Transactions {
+		rows = append(rows, []string{
+			bin.LabelOf(cfg.observedLat, t.Origin.Lat),
+			bin.LabelOf(cfg.observedLon, t.Origin.Lon),
+			bin.LabelOf(cfg.observedLat, t.Dest.Lat),
+			bin.LabelOf(cfg.observedLon, t.Dest.Lon),
+			bin.LabelOf(cfg.observedDist, t.Distance),
+			bin.LabelOf(cfg.observedWt, t.GrossWeight),
+			bin.LabelOf(cfg.observedHrs, t.TransitHours),
+			string(t.Mode),
+		})
+	}
+	return attrs, rows
+}
+
+func (cfg *DiscretizeConfig) fit(d *dataset.Dataset) {
+	var lats, lons, dists, wts, hrs []float64
+	for _, t := range d.Transactions {
+		lats = append(lats, t.Origin.Lat, t.Dest.Lat)
+		lons = append(lons, t.Origin.Lon, t.Dest.Lon)
+		dists = append(dists, t.Distance)
+		wts = append(wts, t.GrossWeight)
+		hrs = append(hrs, t.TransitHours)
+	}
+	// Coordinates use equal-width bins (latitude/longitude are
+	// bounded, and the paper's published rule intervals are
+	// equal-width: the longitude interval (-84.76, -75.43] is one
+	// tenth of the continental span); heavy-tailed attributes use
+	// equal-frequency bins so project-cargo outliers don't collapse
+	// all regular loads into a single label.
+	cfg.observedLat = equalWidthOver(lats, cfg.LatBins)
+	cfg.observedLon = equalWidthOver(lons, cfg.LonBins)
+	cfg.observedDist = equalFreqOver(dists, cfg.DistBins)
+	cfg.observedWt = equalFreqOver(wts, cfg.WtBins)
+	cfg.observedHrs = equalFreqOver(hrs, cfg.HourBins)
+}
+
+func equalWidthOver(values []float64, n int) bin.Binner {
+	if n < 1 {
+		n = 10
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return bin.NewEqualWidth(lo, hi, n)
+}
+
+func equalFreqOver(values []float64, n int) bin.Binner {
+	if n < 1 {
+		n = 10
+	}
+	return bin.EqualFrequency(values, n)
+}
+
+// NumericSchema is the attribute order of NumericMatrix (the
+// undiscretised training set the paper fed to EM).
+var NumericSchema = []string{
+	"ORIGIN_LATITUDE", "ORIGIN_LONGITUDE",
+	"DEST_LATITUDE", "DEST_LONGITUDE",
+	"TOTAL_DISTANCE", "GROSS_WEIGHT", "MOVE_TRANSIT_HOURS",
+}
+
+// NumericMatrix extracts the numeric attributes for clustering.
+func NumericMatrix(d *dataset.Dataset) (attrs []string, rows [][]float64) {
+	attrs = NumericSchema
+	rows = make([][]float64, 0, len(d.Transactions))
+	for _, t := range d.Transactions {
+		rows = append(rows, []float64{
+			t.Origin.Lat, t.Origin.Lon,
+			t.Dest.Lat, t.Dest.Lon,
+			t.Distance, t.GrossWeight, t.TransitHours,
+		})
+	}
+	return attrs, rows
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"tnkd/internal/dataset"
+	"tnkd/internal/graph"
+	"tnkd/internal/partition"
+)
+
+func smallData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.TestConfig())
+}
+
+func TestMineStructuralUnionsRuns(t *testing.T) {
+	d := smallData(t)
+	g := d.BuildGraph(dataset.GraphOptions{Attr: dataset.TransitHours, Vertices: dataset.UniformLabels})
+	res, err := MineStructural(g, StructuralOptions{
+		Strategy:    partition.BreadthFirst,
+		Partitions:  16,
+		Repetitions: 3,
+		Support:     5,
+		MaxEdges:    3,
+		MaxSteps:    100000,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRun) != 3 || len(res.PartitionCounts) != 3 {
+		t.Fatalf("runs = %d", len(res.PerRun))
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	// Union invariants: supports are maxima, Runs <= Repetitions.
+	for _, p := range res.Patterns {
+		if p.Support < 5 {
+			t.Errorf("pattern below support: %d", p.Support)
+		}
+		if p.Runs < 1 || p.Runs > 3 {
+			t.Errorf("runs = %d", p.Runs)
+		}
+	}
+	// Sorted by edges desc.
+	for i := 1; i < len(res.Patterns); i++ {
+		if res.Patterns[i].Graph.NumEdges() > res.Patterns[i-1].Graph.NumEdges() {
+			t.Fatal("patterns not sorted by size")
+		}
+	}
+	if res.MaxPattern() == nil || res.MaxPattern().Graph.NumEdges() != res.Patterns[0].Graph.NumEdges() {
+		t.Error("MaxPattern inconsistent")
+	}
+}
+
+func TestMineStructuralErrors(t *testing.T) {
+	g := graph.New("g")
+	if _, err := MineStructural(g, StructuralOptions{Partitions: 0, Repetitions: 1}); err == nil {
+		t.Error("bad partitions should error")
+	}
+	if _, err := MineStructural(g, StructuralOptions{Partitions: 1, Repetitions: 0}); err == nil {
+		t.Error("bad repetitions should error")
+	}
+}
+
+func TestMineTemporalPipeline(t *testing.T) {
+	d := smallData(t)
+	opts := DefaultTemporalMineOptions()
+	opts.Partition.MaxVertexLabels = 30
+	opts.MaxEdges = 3
+	res, err := MineTemporal(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partition.Transactions) == 0 {
+		t.Fatal("no temporal transactions")
+	}
+	if res.Support < 1 {
+		t.Errorf("support = %d", res.Support)
+	}
+	for i := range res.Mining.Patterns {
+		if res.Mining.Patterns[i].Support < res.Support {
+			t.Error("pattern below support threshold")
+		}
+	}
+	// Stats must describe the same transaction set.
+	if res.Stats.NumTransactions != len(res.Partition.Transactions) {
+		t.Error("stats transaction count mismatch")
+	}
+}
+
+func TestMineTemporalBadSupport(t *testing.T) {
+	d := smallData(t)
+	opts := DefaultTemporalMineOptions()
+	opts.SupportFraction = 0
+	if _, err := MineTemporal(d, opts); err == nil {
+		t.Error("support 0 should error")
+	}
+	opts.SupportFraction = 1.5
+	if _, err := MineTemporal(d, opts); err == nil {
+		t.Error("support > 1 should error")
+	}
+}
+
+func TestDiscretizeSchemaAndLabels(t *testing.T) {
+	d := smallData(t)
+	attrs, rows := Discretize(d, DefaultDiscretizeConfig())
+	if len(attrs) != len(RelationalSchema) {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if len(rows) != d.Len() {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows[:20] {
+		if len(row) != len(attrs) {
+			t.Fatal("ragged row")
+		}
+		// TRANS_MODE column is nominal already.
+		mode := row[len(row)-1]
+		if mode != "TL" && mode != "LTL" {
+			t.Errorf("mode = %q", mode)
+		}
+		// Numeric columns become interval labels.
+		if row[4][0] != '[' {
+			t.Errorf("distance label = %q, want interval", row[4])
+		}
+	}
+	// Weight column must have at most 7 distinct labels.
+	weights := map[string]bool{}
+	for _, row := range rows {
+		weights[row[5]] = true
+	}
+	if len(weights) > 7 {
+		t.Errorf("weight labels = %d, want <= 7", len(weights))
+	}
+}
+
+func TestNumericMatrix(t *testing.T) {
+	d := smallData(t)
+	attrs, rows := NumericMatrix(d)
+	if len(attrs) != 7 {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if len(rows) != d.Len() {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tx := d.Transactions[0]
+	if rows[0][4] != tx.Distance || rows[0][5] != tx.GrossWeight {
+		t.Error("matrix misaligned with transactions")
+	}
+}
+
+func TestMineStructuralDeterministic(t *testing.T) {
+	d := smallData(t)
+	g := d.BuildGraph(dataset.GraphOptions{Attr: dataset.GrossWeight, Vertices: dataset.UniformLabels})
+	run := func() int {
+		res, err := MineStructural(g, StructuralOptions{
+			Strategy: partition.DepthFirst, Partitions: 12, Repetitions: 2,
+			Support: 4, MaxEdges: 3, MaxSteps: 50000, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Patterns)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %d vs %d patterns", a, b)
+	}
+}

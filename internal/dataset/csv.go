@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column order of the CSV codec, mirroring Table 1.
+var csvHeader = []string{
+	"ID", "REQ_PICKUP_DT", "REQ_DELIVERY_DT",
+	"ORIGIN_LATITUDE", "ORIGIN_LONGITUDE",
+	"DEST_LATITUDE", "DEST_LONGITUDE",
+	"TOTAL_DISTANCE", "GROSS_WEIGHT", "MOVE_TRANSIT_HOURS", "TRANS_MODE",
+}
+
+const csvDateLayout = "2006-01-02"
+
+// WriteCSV writes d to w with a Table 1 header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, len(csvHeader))
+	for _, t := range d.Transactions {
+		rec[0] = strconv.Itoa(t.ID)
+		rec[1] = t.ReqPickup.Format(csvDateLayout)
+		rec[2] = t.ReqDelivery.Format(csvDateLayout)
+		rec[3] = strconv.FormatFloat(t.Origin.Lat, 'f', 1, 64)
+		rec[4] = strconv.FormatFloat(t.Origin.Lon, 'f', 1, 64)
+		rec[5] = strconv.FormatFloat(t.Dest.Lat, 'f', 1, 64)
+		rec[6] = strconv.FormatFloat(t.Dest.Lon, 'f', 1, 64)
+		rec[7] = strconv.FormatFloat(t.Distance, 'f', 1, 64)
+		rec[8] = strconv.FormatFloat(t.GrossWeight, 'f', 1, 64)
+		rec[9] = strconv.FormatFloat(t.TransitHours, 'f', 2, 64)
+		rec[10] = string(t.Mode)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write transaction %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	d := &Dataset{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		t, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		d.Transactions = append(d.Transactions, t)
+	}
+	return d, nil
+}
+
+func parseRecord(rec []string) (Transaction, error) {
+	var t Transaction
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return t, fmt.Errorf("bad ID %q: %w", rec[0], err)
+	}
+	t.ID = id
+	if t.ReqPickup, err = time.Parse(csvDateLayout, rec[1]); err != nil {
+		return t, fmt.Errorf("bad REQ_PICKUP_DT %q: %w", rec[1], err)
+	}
+	if t.ReqDelivery, err = time.Parse(csvDateLayout, rec[2]); err != nil {
+		return t, fmt.Errorf("bad REQ_DELIVERY_DT %q: %w", rec[2], err)
+	}
+	floats := make([]float64, 6)
+	for i, col := range rec[3:9] {
+		if floats[i], err = strconv.ParseFloat(col, 64); err != nil {
+			return t, fmt.Errorf("bad %s %q: %w", csvHeader[3+i], col, err)
+		}
+	}
+	t.Origin = LatLon{floats[0], floats[1]}
+	t.Dest = LatLon{floats[2], floats[3]}
+	t.Distance = floats[4]
+	t.GrossWeight = floats[5]
+	if t.TransitHours, err = strconv.ParseFloat(rec[9], 64); err != nil {
+		return t, fmt.Errorf("bad MOVE_TRANSIT_HOURS %q: %w", rec[9], err)
+	}
+	switch Mode(rec[10]) {
+	case Truckload, LessThanTruckload:
+		t.Mode = Mode(rec[10])
+	default:
+		return t, fmt.Errorf("bad TRANS_MODE %q", rec[10])
+	}
+	return t, nil
+}

@@ -1,0 +1,321 @@
+package dynamic
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tnkd/internal/dataset"
+)
+
+// mkGraph builds a dynamic graph from (from, to, start, end) rows.
+func mkGraph(rows [][4]interface{}) *Graph {
+	g := &Graph{}
+	for _, r := range rows {
+		e := Edge{
+			From:  r[0].(string),
+			To:    r[1].(string),
+			Label: "w",
+			Start: r[2].(int),
+			End:   r[3].(int),
+		}
+		g.Edges = append(g.Edges, e)
+		if e.End+1 > g.Days {
+			g.Days = e.End + 1
+		}
+	}
+	g.index()
+	return g
+}
+
+func TestFindRepeatedPathsBasic(t *testing.T) {
+	// A 2-leg route GB→LAF→ATL repeated three times a week apart,
+	// legs one day apart; plus noise.
+	rows := [][4]interface{}{}
+	for _, w := range []int{0, 7, 14} {
+		rows = append(rows,
+			[4]interface{}{"GB", "LAF", w, w + 1},
+			[4]interface{}{"LAF", "ATL", w + 2, w + 3},
+		)
+	}
+	rows = append(rows, [4]interface{}{"X", "Y", 4, 5})
+	g := mkGraph(rows)
+	paths := FindRepeatedPaths(g, TimePathQuery{
+		MinLegs: 2, MaxLegs: 2, MaxGap: 2, Window: 7, Support: 3,
+	})
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1: %v", len(paths), paths)
+	}
+	p := paths[0]
+	if strings.Join(p.Vertices, "→") != "GB→LAF→ATL" {
+		t.Errorf("path = %v", p.Vertices)
+	}
+	if p.Support() != 3 {
+		t.Errorf("support = %d, want 3", p.Support())
+	}
+}
+
+func TestFindRepeatedPathsGapConstraint(t *testing.T) {
+	// Second leg starts 5 days after the first ends: with MaxGap 2
+	// the path must NOT form.
+	g := mkGraph([][4]interface{}{
+		{"A", "B", 0, 1}, {"B", "C", 6, 7},
+		{"A", "B", 10, 11}, {"B", "C", 16, 17},
+	})
+	paths := FindRepeatedPaths(g, TimePathQuery{MinLegs: 2, MaxLegs: 2, MaxGap: 2, Support: 2})
+	if len(paths) != 0 {
+		t.Fatalf("gapped paths should not qualify: %v", paths)
+	}
+	loose := FindRepeatedPaths(g, TimePathQuery{MinLegs: 2, MaxLegs: 2, MaxGap: 5, Support: 2})
+	if len(loose) != 1 {
+		t.Fatalf("loose gap should find the path: %v", loose)
+	}
+}
+
+func TestFindRepeatedPathsWindow(t *testing.T) {
+	// The paper: a cycle over a week is relevant; constrain Window.
+	g := mkGraph([][4]interface{}{
+		{"A", "B", 0, 1}, {"B", "C", 2, 3}, {"C", "A", 5, 6},
+		{"A", "B", 20, 21}, {"B", "C", 22, 23}, {"C", "A", 25, 26},
+	})
+	cycles := FindRepeatedPaths(g, TimePathQuery{
+		MinLegs: 3, MaxLegs: 3, MaxGap: 3, Window: 7, Support: 2, CyclesOnly: true,
+	})
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if cycles[0].Vertices[0] != cycles[0].Vertices[len(cycles[0].Vertices)-1] {
+		t.Error("cycle does not return home")
+	}
+	tight := FindRepeatedPaths(g, TimePathQuery{
+		MinLegs: 3, MaxLegs: 3, MaxGap: 3, Window: 3, Support: 2, CyclesOnly: true,
+	})
+	if len(tight) != 0 {
+		t.Errorf("window 3 should exclude the 6-day cycle: %v", tight)
+	}
+}
+
+func TestFindRepeatedPathsTimeDisjoint(t *testing.T) {
+	// Overlapping occurrences of the same route count once.
+	g := mkGraph([][4]interface{}{
+		{"A", "B", 0, 1}, {"B", "C", 1, 2},
+		{"A", "B", 1, 2}, {"B", "C", 2, 3}, // overlaps the first
+	})
+	paths := FindRepeatedPaths(g, TimePathQuery{MinLegs: 2, MaxLegs: 2, MaxGap: 1, Support: 2})
+	if len(paths) != 0 {
+		t.Fatalf("overlapping occurrences should not reach support 2: %v", paths)
+	}
+}
+
+func TestFindRepeatedPathsMinSep(t *testing.T) {
+	// MinSep forces consecutive pickups at least 2 days apart.
+	g := mkGraph([][4]interface{}{
+		{"A", "B", 0, 1}, {"B", "C", 1, 2},
+		{"A", "B", 10, 11}, {"B", "C", 11, 12},
+	})
+	paths := FindRepeatedPaths(g, TimePathQuery{MinLegs: 2, MaxLegs: 2, MinSep: 2, MaxGap: 3, Support: 2})
+	if len(paths) != 0 {
+		t.Fatalf("same/next-day second legs violate MinSep 2: %v", paths)
+	}
+}
+
+func TestDetectPeriodicityWeekly(t *testing.T) {
+	rows := [][4]interface{}{}
+	for w := 0; w < 8; w++ {
+		rows = append(rows, [4]interface{}{"GB", "CHI", w * 7, w*7 + 1})
+	}
+	rows = append(rows,
+		[4]interface{}{"X", "Y", 0, 1},
+		[4]interface{}{"X", "Y", 3, 4},
+		[4]interface{}{"X", "Y", 11, 12},
+		[4]interface{}{"X", "Y", 40, 41},
+	)
+	g := mkGraph(rows)
+	periodic := DetectPeriodicity(g, 4, 0.8)
+	if len(periodic) != 1 {
+		t.Fatalf("periodic lanes = %v", periodic)
+	}
+	p := periodic[0]
+	if p.From != "GB" || p.Period != 7 || p.Regularity != 1.0 {
+		t.Errorf("periodicity = %+v", p)
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	day := func(d int) time.Time { return time.Date(2004, 2, 2+d, 0, 0, 0, 0, time.UTC) }
+	a := dataset.LatLon{Lat: 44.5, Lon: -88.0}
+	b := dataset.LatLon{Lat: 41.9, Lon: -87.6}
+	d := &dataset.Dataset{Transactions: []dataset.Transaction{
+		{ReqPickup: day(2), ReqDelivery: day(3), Origin: a, Dest: b, GrossWeight: 5000},
+		{ReqPickup: day(0), ReqDelivery: day(1), Origin: b, Dest: a, GrossWeight: 30000},
+	}}
+	g := FromDataset(d, dataset.GrossWeight, nil)
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	// Time zero is the earliest pickup (the second transaction).
+	if g.Edges[1].Start != 0 || g.Edges[0].Start != 2 {
+		t.Errorf("starts = %d, %d", g.Edges[0].Start, g.Edges[1].Start)
+	}
+	if g.Days != 4 {
+		t.Errorf("days = %d, want 4", g.Days)
+	}
+	if g.Edges[0].From != "44.5,-88.0" {
+		t.Errorf("vertex label = %q", g.Edges[0].From)
+	}
+}
+
+func TestLaneRulesCoOccurrence(t *testing.T) {
+	// Lane P is active exactly when lane Q is (10 shared days); lane
+	// R is independent.
+	rows := [][4]interface{}{}
+	for d := 0; d < 10; d++ {
+		rows = append(rows,
+			[4]interface{}{"44.5,-88.0", "41.9,-87.6", d * 3, d * 3}, // P
+			[4]interface{}{"44.0,-88.5", "42.0,-88.0", d * 3, d * 3}, // Q, nearby
+		)
+	}
+	for d := 0; d < 5; d++ {
+		rows = append(rows, [4]interface{}{"33.0,-97.0", "29.0,-95.0", d*2 + 1, d*2 + 1}) // R, far away
+	}
+	g := mkGraph(rows)
+	rules := LaneRules(g, LaneRuleQuery{MinSupport: 5, MinConfidence: 0.9})
+	if len(rules) < 2 {
+		t.Fatalf("rules = %v", rules)
+	}
+	top := rules[0]
+	if top.Confidence != 1.0 || top.Support != 10 {
+		t.Errorf("top rule = %s", top)
+	}
+	if top.Lift <= 1 {
+		t.Errorf("lift = %v", top.Lift)
+	}
+}
+
+func TestLaneRulesSpatialFilter(t *testing.T) {
+	// Two perfectly co-occurring lanes 20 degrees apart must be
+	// dropped by a 5-degree spread filter (the paper's point about
+	// Green Bay→Lafayette vs Portland→Sacramento).
+	rows := [][4]interface{}{}
+	for d := 0; d < 8; d++ {
+		rows = append(rows,
+			[4]interface{}{"44.5,-88.0", "41.9,-87.6", d, d},
+			[4]interface{}{"45.5,-122.7", "38.5,-121.5", d, d},
+		)
+	}
+	g := mkGraph(rows)
+	unfiltered := LaneRules(g, LaneRuleQuery{MinSupport: 4, MinConfidence: 0.9})
+	if len(unfiltered) == 0 {
+		t.Fatal("expected unfiltered rules")
+	}
+	filtered := LaneRules(g, LaneRuleQuery{MinSupport: 4, MinConfidence: 0.9, MaxSpreadDegrees: 5})
+	if len(filtered) != 0 {
+		t.Fatalf("spatial filter failed: %v", filtered)
+	}
+}
+
+func TestLaneRulesBudgetCap(t *testing.T) {
+	rows := [][4]interface{}{}
+	for i := 0; i < 30; i++ {
+		rows = append(rows, [4]interface{}{"40.0,-90.0", "41.0,-91.0", i, i})
+	}
+	g := mkGraph(rows)
+	rules := LaneRules(g, LaneRuleQuery{MinSupport: 2, MinConfidence: 0.5, MaxLanes: 1})
+	// Only one lane retained: no pairs, no rules, no panic.
+	if len(rules) != 0 {
+		t.Fatalf("rules = %v", rules)
+	}
+}
+
+func TestFromDatasetEmpty(t *testing.T) {
+	g := FromDataset(&dataset.Dataset{}, dataset.GrossWeight, nil)
+	if len(g.Edges) != 0 || g.Days != 0 {
+		t.Errorf("empty dataset graph = %+v", g)
+	}
+	if paths := FindRepeatedPaths(g, TimePathQuery{Support: 1}); len(paths) != 0 {
+		t.Errorf("paths on empty graph = %v", paths)
+	}
+	if rules := LaneRules(g, LaneRuleQuery{}); rules != nil {
+		t.Errorf("rules on empty graph = %v", rules)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	p := TimedPath{Vertices: []string{"A", "B"}, Labels: []string{"w"}, Starts: []int{3}, End: 4}
+	if !strings.Contains(p.String(), "A→B") || !strings.Contains(p.String(), "[3]") {
+		t.Errorf("TimedPath.String = %q", p.String())
+	}
+	r := RepeatedPath{Vertices: []string{"A", "B"}, Occurrences: []TimedPath{p, p}}
+	if !strings.Contains(r.String(), "×2") {
+		t.Errorf("RepeatedPath.String = %q", r.String())
+	}
+	per := Periodicity{From: "A", To: "B", Occurrences: 5, Period: 7, Regularity: 0.8}
+	if !strings.Contains(per.String(), "period=7d") {
+		t.Errorf("Periodicity.String = %q", per.String())
+	}
+	rule := LaneRule{If: []Lane{{"A", "B"}}, Then: Lane{"C", "D"}, Support: 3, Confidence: 0.9, Lift: 2, Proximity: 1.5}
+	if !strings.Contains(rule.String(), "⇒") || !strings.Contains(rule.String(), "conf 0.90") {
+		t.Errorf("LaneRule.String = %q", rule.String())
+	}
+}
+
+func TestFindRepeatedPathsBudgetExhaustion(t *testing.T) {
+	// A dense co-temporal clique explodes the path space; a tiny
+	// budget must terminate cleanly.
+	rows := [][4]interface{}{}
+	names := []string{"A", "B", "C", "D", "E"}
+	for d := 0; d < 10; d++ {
+		for i, from := range names {
+			for j, to := range names {
+				if i != j {
+					rows = append(rows, [4]interface{}{from, to, d, d})
+				}
+			}
+		}
+	}
+	g := mkGraph(rows)
+	paths := FindRepeatedPaths(g, TimePathQuery{
+		MinLegs: 2, MaxLegs: 3, MaxGap: 1, Support: 2, Budget: 500,
+	})
+	// Results may be partial but the call must return promptly and
+	// every result must still satisfy the support threshold.
+	for _, p := range paths {
+		if p.Support() < 2 {
+			t.Errorf("under-supported path %v", p)
+		}
+	}
+}
+
+func TestLaneSpreadUnparsable(t *testing.T) {
+	// Lanes with non-coordinate labels are conservatively dropped by
+	// the spatial filter but kept when the filter is off.
+	rows := [][4]interface{}{}
+	for d := 0; d < 6; d++ {
+		rows = append(rows,
+			[4]interface{}{"GB", "CHI", d, d},
+			[4]interface{}{"MKE", "DET", d, d},
+		)
+	}
+	g := mkGraph(rows)
+	off := LaneRules(g, LaneRuleQuery{MinSupport: 3, MinConfidence: 0.9})
+	if len(off) == 0 {
+		t.Fatal("expected rules without spatial filter")
+	}
+	on := LaneRules(g, LaneRuleQuery{MinSupport: 3, MinConfidence: 0.9, MaxSpreadDegrees: 100})
+	if len(on) != 0 {
+		t.Errorf("unparsable labels should fail the spatial filter: %v", on)
+	}
+}
+
+func TestDetectPeriodicitySameDayRepeats(t *testing.T) {
+	// A lane shipping twice per day has zero-gap repeats, which carry
+	// no cadence signal and must not panic or divide by zero.
+	rows := [][4]interface{}{}
+	for i := 0; i < 4; i++ {
+		rows = append(rows, [4]interface{}{"A", "B", 5, 5})
+	}
+	g := mkGraph(rows)
+	if got := DetectPeriodicity(g, 3, 0.5); len(got) != 0 {
+		t.Errorf("constant-day lane reported periodic: %v", got)
+	}
+}

@@ -1,0 +1,196 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Section 9 of the paper notes that co-occurrence rules between
+// distant lanes ("every time there is a load from Green Bay to
+// Lafayette, there is also one from Portland to Sacramento") are
+// rarely useful, and that "some filtering / constraints are needed":
+// patterns whose elements are not spatio-temporally close are
+// unlikely to be of interest. LaneRules mines day-level lane
+// co-occurrence association rules with exactly that spatial filter.
+
+// Lane identifies a directed origin-destination pair by the string
+// labels used in the dynamic graph ("lat,lon" when built by
+// FromDataset).
+type Lane struct {
+	From, To string
+}
+
+// String renders the lane.
+func (l Lane) String() string { return l.From + "→" + l.To }
+
+// LaneRule is a day-level co-occurrence rule: on days when every
+// lane in If is active, the Then lane is also active with the given
+// confidence.
+type LaneRule struct {
+	If         []Lane
+	Then       Lane
+	Support    int // days with all of If ∪ {Then} active
+	Confidence float64
+	Lift       float64
+	// Proximity is the largest pairwise endpoint distance (in
+	// degrees, coarse) between the lanes of the rule.
+	Proximity float64
+}
+
+// String renders the rule.
+func (r LaneRule) String() string {
+	ifs := make([]string, len(r.If))
+	for i, l := range r.If {
+		ifs[i] = l.String()
+	}
+	return fmt.Sprintf("%s ⇒ %s (sup %d, conf %.2f, lift %.2f, spread %.1f°)",
+		strings.Join(ifs, " ∧ "), r.Then, r.Support, r.Confidence, r.Lift, r.Proximity)
+}
+
+// LaneRuleQuery configures the search.
+type LaneRuleQuery struct {
+	// MinSupport is the minimum number of co-active days.
+	MinSupport int
+	// MinConfidence filters rules.
+	MinConfidence float64
+	// MaxSpreadDegrees drops rules whose lanes are farther apart than
+	// this (the paper's spatio-temporal-closeness filter); 0 disables
+	// the filter.
+	MaxSpreadDegrees float64
+	// MaxLanes bounds the number of lanes considered (busiest first;
+	// 0 = 200) to keep the pairwise search tractable.
+	MaxLanes int
+}
+
+// LaneRules mines single-antecedent day-level co-occurrence rules
+// between lanes of the dynamic graph.
+func LaneRules(g *Graph, q LaneRuleQuery) []LaneRule {
+	if q.MinSupport < 2 {
+		q.MinSupport = 2
+	}
+	if q.MaxLanes <= 0 {
+		q.MaxLanes = 200
+	}
+	// Active-day sets per lane.
+	activeDays := make(map[Lane]map[int]bool)
+	for _, e := range g.Edges {
+		l := Lane{e.From, e.To}
+		days := activeDays[l]
+		if days == nil {
+			days = make(map[int]bool)
+			activeDays[l] = days
+		}
+		for d := e.Start; d <= e.End; d++ {
+			days[d] = true
+		}
+	}
+	// Keep the busiest lanes.
+	lanes := make([]Lane, 0, len(activeDays))
+	for l := range activeDays {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		di, dj := len(activeDays[lanes[i]]), len(activeDays[lanes[j]])
+		if di != dj {
+			return di > dj
+		}
+		if lanes[i].From != lanes[j].From {
+			return lanes[i].From < lanes[j].From
+		}
+		return lanes[i].To < lanes[j].To
+	})
+	if len(lanes) > q.MaxLanes {
+		lanes = lanes[:q.MaxLanes]
+	}
+
+	totalDays := g.Days
+	if totalDays == 0 {
+		return nil
+	}
+	var rules []LaneRule
+	for i, a := range lanes {
+		da := activeDays[a]
+		if len(da) < q.MinSupport {
+			continue
+		}
+		for j, b := range lanes {
+			if i == j {
+				continue
+			}
+			db := activeDays[b]
+			co := 0
+			for d := range da {
+				if db[d] {
+					co++
+				}
+			}
+			if co < q.MinSupport {
+				continue
+			}
+			conf := float64(co) / float64(len(da))
+			if conf < q.MinConfidence {
+				continue
+			}
+			spread := laneSpread(a, b)
+			if q.MaxSpreadDegrees > 0 && spread > q.MaxSpreadDegrees {
+				continue
+			}
+			lift := conf / (float64(len(db)) / float64(totalDays))
+			rules = append(rules, LaneRule{
+				If: []Lane{a}, Then: b,
+				Support: co, Confidence: conf, Lift: lift, Proximity: spread,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].String() < rules[j].String()
+	})
+	return rules
+}
+
+// laneSpread returns the largest endpoint-to-endpoint coordinate
+// distance (in degrees, Chebyshev-ish) between two lanes, parsing the
+// "lat,lon" labels produced by FromDataset. Unparsable labels yield
+// +Inf so the spatial filter drops them conservatively... unless the
+// filter is disabled.
+func laneSpread(a, b Lane) float64 {
+	pa1, ok1 := parseLatLon(a.From)
+	pa2, ok2 := parseLatLon(a.To)
+	pb1, ok3 := parseLatLon(b.From)
+	pb2, ok4 := parseLatLon(b.To)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for _, p := range [][2]float64{pa1, pa2} {
+		for _, qq := range [][2]float64{pb1, pb2} {
+			d := math.Max(math.Abs(p[0]-qq[0]), math.Abs(p[1]-qq[1]))
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func parseLatLon(s string) ([2]float64, bool) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return [2]float64{}, false
+	}
+	lat, err1 := strconv.ParseFloat(parts[0], 64)
+	lon, err2 := strconv.ParseFloat(parts[1], 64)
+	if err1 != nil || err2 != nil {
+		return [2]float64{}, false
+	}
+	return [2]float64{lat, lon}, true
+}

@@ -1,0 +1,53 @@
+// Package experiments contains one runner per table and figure of
+// the paper's evaluation. Each runner returns a typed result that
+// renders the same rows/series the paper reports, so the benchmark
+// harness (bench_test.go) and the cmd/experiments binary regenerate
+// every artifact from one place.
+//
+// Runners accept Params with a Scale knob: Scale=1 reproduces the
+// full-size experiment; smaller scales shrink the synthetic dataset
+// and thresholds proportionally so the suite stays fast in tests
+// while preserving the qualitative shape of every result.
+package experiments
+
+import (
+	"math"
+
+	"tnkd/internal/dataset"
+)
+
+// Params carries the shared inputs of all experiment runners.
+type Params struct {
+	// Data is the OD dataset (synthetic stand-in for the paper's
+	// proprietary six-month extract).
+	Data *dataset.Dataset
+	// Scale is the fraction of full size Data was generated at;
+	// thresholds (supports, partition counts) scale with it.
+	Scale float64
+	// Seed drives any per-experiment randomness.
+	Seed int64
+}
+
+// NewParams generates a dataset at the given scale and returns ready
+// parameters. Scale 1 is the full 98,292-transaction reproduction.
+func NewParams(scale float64) Params {
+	cfg := dataset.DefaultConfig()
+	if scale < 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	return Params{Data: dataset.Generate(cfg), Scale: scale, Seed: cfg.Seed}
+}
+
+// QuickScale is the scale used by unit tests and benchmarks: large
+// enough to preserve every qualitative result, small enough to run
+// each experiment in well under a second of setup.
+const QuickScale = 0.04
+
+// scaled shrinks an absolute full-scale threshold, keeping a floor.
+func (p Params) scaled(full int, floor int) int {
+	v := int(math.Round(float64(full) * p.Scale))
+	if v < floor {
+		v = floor
+	}
+	return v
+}

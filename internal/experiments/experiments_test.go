@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedParams generates the quick-scale dataset once per test run.
+var (
+	paramsOnce sync.Once
+	quick      Params
+)
+
+func quickParams(t testing.TB) Params {
+	paramsOnce.Do(func() { quick = NewParams(QuickScale) })
+	if quick.Data == nil || quick.Data.Len() == 0 {
+		t.Fatal("quick params dataset empty")
+	}
+	return quick
+}
+
+func TestRunTable1(t *testing.T) {
+	p := quickParams(t)
+	res := RunTable1(p)
+	if res.Summary.NumTransactions != p.Data.Len() {
+		t.Errorf("transactions %d != %d", res.Summary.NumTransactions, p.Data.Len())
+	}
+	if res.NumEdges != p.Data.Len() {
+		t.Errorf("multigraph edges %d != transactions %d", res.NumEdges, p.Data.Len())
+	}
+	if res.Summary.OutDegMin < 1 || res.Summary.InDegMin < 1 {
+		t.Errorf("degree minimums should be >= 1: %+v", res.Summary)
+	}
+	if len(res.GraphNames) != 3 {
+		t.Errorf("expected 3 graph variants, got %v", res.GraphNames)
+	}
+	if !strings.Contains(res.String(), "OD_GW") {
+		t.Error("report should mention OD_GW")
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	res := RunFigure1(quickParams(t))
+	if res.GraphVertices == 0 || res.GraphEdges == 0 {
+		t.Fatal("empty truncated graph")
+	}
+	if len(res.Best) == 0 {
+		t.Fatal("SUBDUE found no substructures")
+	}
+	// Every reported substructure must be genuinely repetitive
+	// (non-overlapping instances >= 2, as the paper ran SUBDUE), and
+	// the best list must contain a very frequent small pattern — the
+	// "large number of repeated patterns of size 1" MDL surfaces.
+	// (On our planted data MDL can also rank a large regular motif
+	// first; the strict frequency-vs-size contrast is pinned by the
+	// controlled tests in internal/subdue.)
+	frequentSmall := false
+	for _, s := range res.Best {
+		if s.Instances < 2 {
+			t.Errorf("substructure with %d instances", s.Instances)
+		}
+		if s.Graph.NumEdges() <= 2 && s.Instances >= 8 {
+			frequentSmall = true
+		}
+	}
+	if !frequentSmall {
+		t.Error("no very frequent small pattern among MDL's best")
+	}
+	if !strings.Contains(res.String(), "SUBDUE") {
+		t.Error("report header missing")
+	}
+}
+
+func TestRunSection51Size(t *testing.T) {
+	res := RunSection51Size(quickParams(t))
+	if len(res.Best) == 0 {
+		t.Fatal("no substructures")
+	}
+	// The paper's claim for the Size run on OD_TD: it surfaces
+	// "very complex patterns" (their best was 31 vertices / 37 edges
+	// repeated twice). At quick scale we require a multi-vertex,
+	// multi-edge pattern with at least two instances among the best.
+	if res.MaxPatternSize < 4 {
+		t.Errorf("Size max pattern %d vertices; expected complex patterns (paper: 31)", res.MaxPatternSize)
+	}
+	for _, s := range res.Best {
+		if s.Instances < 2 {
+			t.Errorf("best substructure with %d instances; SUBDUE requires repetition", s.Instances)
+		}
+	}
+}
+
+func TestRunSection51Scaling(t *testing.T) {
+	res := RunSection51Scaling(quickParams(t), []int{20, 40, 60})
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Vertices <= res.Points[i-1].Vertices {
+			t.Error("points not ordered by size")
+		}
+	}
+}
+
+func TestRunFigure2(t *testing.T) {
+	res := RunFigure2(quickParams(t))
+	if res.NumPatterns == 0 {
+		t.Fatal("BF structural mining found no patterns")
+	}
+	if res.HubPattern == nil {
+		t.Fatal("no hub-and-spoke pattern found (paper's Figure 2 shape)")
+	}
+	if res.HubPattern.Support < res.Support {
+		t.Errorf("hub support %d below threshold %d", res.HubPattern.Support, res.Support)
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	res := RunFigure3(quickParams(t))
+	if res.NumPatterns == 0 {
+		t.Fatal("DF structural mining found no patterns")
+	}
+	if res.ChainPattern == nil {
+		t.Fatal("no chain pattern found (paper's Figure 3 shape)")
+	}
+	if res.ChainEdgesDF < res.ChainEdgesBF {
+		t.Errorf("DF chain (%d edges) shorter than BF chain (%d); paper found DF preserves chains",
+			res.ChainEdgesDF, res.ChainEdgesBF)
+	}
+}
+
+func TestRunSection522Sweep(t *testing.T) {
+	res := RunSection522Sweep(quickParams(t))
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 sizes x 2 strategies)", len(res.Rows))
+	}
+	if res.AvgBF <= 0 || res.AvgDF <= 0 {
+		t.Error("averages should be positive")
+	}
+	// Paper: BF (with its support) found more patterns than DF.
+	if res.AvgBF < res.AvgDF {
+		t.Logf("note: BF avg %.0f < DF avg %.0f (paper had BF > DF)", res.AvgBF, res.AvgDF)
+	}
+}
+
+func TestRunFootnote2(t *testing.T) {
+	res := RunFootnote2(quickParams(t))
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	if res.MinRecall < 0.5 {
+		t.Errorf("min recall %.2f < 0.5; paper reports 50%%+ recall", res.MinRecall)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	res := RunTable2(quickParams(t))
+	if res.Stats.NumTransactions == 0 {
+		t.Fatal("no temporal transactions")
+	}
+	if res.Stats.DistinctEdgeLabels == 0 || res.Stats.DistinctEdgeLabels > 7 {
+		t.Errorf("distinct edge labels = %d, want 1..7 (weight bins)", res.Stats.DistinctEdgeLabels)
+	}
+	if res.Stats.MaxEdges < res.Stats.NumTransactions/100 {
+		t.Logf("max edges %d", res.Stats.MaxEdges)
+	}
+	out := res.String()
+	if !strings.Contains(out, "Number of Input Transactions") {
+		t.Error("Table 2 row format missing")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	p := quickParams(t)
+	t2 := RunTable2(p)
+	t3 := RunTable3(p)
+	if t3.Stats.NumTransactions == 0 {
+		t.Fatal("no filtered transactions")
+	}
+	// The filter must shrink average transaction size.
+	if t3.Stats.AvgEdges > t2.Stats.AvgEdges {
+		t.Errorf("filtered avg edges %.1f > unfiltered %.1f", t3.Stats.AvgEdges, t2.Stats.AvgEdges)
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	res := RunFigure4(quickParams(t))
+	if res.Transactions == 0 {
+		t.Fatal("no transactions after filtering")
+	}
+	if res.NumPatterns == 0 {
+		t.Fatal("no temporal patterns at 5% support")
+	}
+	if !res.MostlySmall {
+		t.Error("expected mostly small patterns (paper: most were small)")
+	}
+	if res.LargestEdges < 2 {
+		t.Errorf("largest pattern %d edges; paper found a 3-edge hub", res.LargestEdges)
+	}
+}
+
+func TestRunSection8(t *testing.T) {
+	res := RunSection8(quickParams(t), 0)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.Rows[len(res.Rows)-1].Aborted {
+		t.Errorf("highest label cardinality should abort (candidates=%d)",
+			res.Rows[len(res.Rows)-1].Candidates)
+	}
+	if res.Rows[0].Aborted {
+		t.Error("lowest label cardinality should not abort")
+	}
+	if !res.Monotone {
+		t.Error("candidate volume should grow with label cardinality")
+	}
+}
+
+func TestRunSection71(t *testing.T) {
+	res := RunSection71(quickParams(t))
+	if !res.WeightModeOK {
+		t.Error("weight→mode rule not recovered (paper's trivial rule)")
+	}
+	if !res.GeoOK {
+		t.Error("longitude→latitude rule not recovered")
+	}
+	if res.GeoOK && (res.GeoRule.Confidence < 0.7 || res.GeoRule.Confidence > 1.0) {
+		t.Errorf("geo rule confidence %.2f outside plausible band (paper: 0.87)", res.GeoRule.Confidence)
+	}
+}
+
+func TestRunSection72(t *testing.T) {
+	res := RunSection72(quickParams(t))
+	if res.ModeAccuracy < 0.90 {
+		t.Errorf("TRANS_MODE accuracy %.3f < 0.90 (paper: 0.96)", res.ModeAccuracy)
+	}
+	if res.ModeRoot != "GROSS_WEIGHT" {
+		t.Errorf("mode tree root = %s, paper: GROSS_WEIGHT", res.ModeRoot)
+	}
+	if res.DistanceRoot == "" {
+		t.Error("distance tree has no root split")
+	}
+	if res.DistanceRoot == "MOVE_TRANSIT_HOURS" {
+		t.Logf("note: distance tree split on transit hours; paper found geography more informative")
+	}
+}
+
+func TestRunFigure56(t *testing.T) {
+	res := RunFigure56(quickParams(t))
+	if res.K != 9 {
+		t.Errorf("k = %d, want 9", res.K)
+	}
+	if res.OutlierCluster < 0 {
+		t.Error("air-freight outlier cluster not isolated")
+	} else if res.OutlierSize > 10 {
+		t.Errorf("outlier cluster size %d, expected tiny (paper: 3)", res.OutlierSize)
+	}
+	if res.ShortHaul == 0 || res.LongHaul == 0 {
+		t.Errorf("expected both short-haul and long-haul clusters, got %d/%d",
+			res.ShortHaul, res.LongHaul)
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestRunSection9(t *testing.T) {
+	res := RunSection9(quickParams(t))
+	if res.TimedEdges != quickParams(t).Data.Len() {
+		t.Errorf("timed edges %d != transactions", res.TimedEdges)
+	}
+	if res.RepeatedPaths == 0 {
+		t.Error("no repeated connection paths (chains are planted)")
+	}
+	if res.WeeklyLanes == 0 {
+		t.Error("no weekly lanes (weekly schedules are planted)")
+	}
+	if res.FilteredRules > res.UnfilteredRules {
+		t.Error("spatial filter added rules")
+	}
+	if res.BestRuns < 4 {
+		t.Errorf("best path runs = %d", res.BestRuns)
+	}
+}

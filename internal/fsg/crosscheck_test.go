@@ -1,0 +1,117 @@
+package fsg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tnkd/internal/bruteforce"
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+)
+
+// randomTxns builds small random connected-ish transactions.
+func randomTxns(rng *rand.Rand, n, maxV, maxE, vLabels, eLabels int) []*graph.Graph {
+	txns := make([]*graph.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		g := graph.New(fmt.Sprintf("t%d", i))
+		nv := 2 + rng.Intn(maxV-1)
+		vs := make([]graph.VertexID, nv)
+		for j := range vs {
+			vs[j] = g.AddVertex(fmt.Sprintf("v%d", rng.Intn(vLabels)))
+		}
+		ne := 1 + rng.Intn(maxE)
+		for j := 0; j < ne; j++ {
+			a := vs[rng.Intn(nv)]
+			b := vs[rng.Intn(nv)]
+			if a == b {
+				continue
+			}
+			label := fmt.Sprintf("e%d", rng.Intn(eLabels))
+			// Keep transactions simple graphs (deduped), as in the
+			// paper's pipeline.
+			dup := false
+			for _, e := range g.OutEdges(a) {
+				ed := g.Edge(e)
+				if ed.To == b && ed.Label == label {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				g.AddEdge(a, b, label)
+			}
+		}
+		txns = append(txns, g)
+	}
+	return txns
+}
+
+// TestFSGMatchesBruteForce cross-checks the level-wise miner against
+// the exhaustive oracle on many random inputs: identical pattern sets
+// and identical supports.
+func TestFSGMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20050405))
+	for trial := 0; trial < 25; trial++ {
+		txns := randomTxns(rng, 4+rng.Intn(4), 5, 7, 2, 2)
+		minSup := 2 + rng.Intn(2)
+		maxEdges := 3
+		want := bruteforce.Mine(txns, minSup, maxEdges)
+		got, err := Mine(txns, Options{MinSupport: minSup, MaxEdges: maxEdges})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Patterns) != len(want) {
+			t.Fatalf("trial %d: fsg found %d patterns, oracle %d (minsup %d)",
+				trial, len(got.Patterns), len(want), minSup)
+		}
+		// Match each oracle pattern to an FSG pattern by isomorphism
+		// and compare supports.
+		for _, w := range want {
+			matched := false
+			for i := range got.Patterns {
+				p := &got.Patterns[i]
+				if p.Graph.NumEdges() != w.Graph.NumEdges() || p.Graph.NumVertices() != w.Graph.NumVertices() {
+					continue
+				}
+				if iso.Isomorphic(p.Graph, w.Graph) {
+					matched = true
+					if p.Support != w.Support {
+						t.Fatalf("trial %d: support mismatch %d vs %d for\n%s",
+							trial, p.Support, w.Support, w.Graph.Dump())
+					}
+					break
+				}
+			}
+			if !matched {
+				t.Fatalf("trial %d: oracle pattern missing from fsg output:\n%s", trial, w.Graph.Dump())
+			}
+		}
+	}
+}
+
+// TestFSGMatchesBruteForceUniformLabels repeats the cross-check in the
+// Section 5 regime: all vertices share one label, so candidate
+// symmetry (and canonical-code dedup) is maximally stressed.
+func TestFSGMatchesBruteForceUniformLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		txns := randomTxns(rng, 5, 5, 6, 1, 3)
+		minSup := 2
+		maxEdges := 3
+		want := bruteforce.Mine(txns, minSup, maxEdges)
+		got, err := Mine(txns, Options{MinSupport: minSup, MaxEdges: maxEdges})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Patterns) != len(want) {
+			for _, w := range want {
+				t.Logf("oracle: sup=%d\n%s", w.Support, w.Graph.Dump())
+			}
+			for _, p := range got.Patterns {
+				t.Logf("fsg: sup=%d\n%s", p.Support, p.Graph.Dump())
+			}
+			t.Fatalf("trial %d: fsg %d patterns, oracle %d", trial, len(got.Patterns), len(want))
+		}
+	}
+}

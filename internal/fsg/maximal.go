@@ -1,0 +1,74 @@
+package fsg
+
+import (
+	"sort"
+
+	"tnkd/internal/iso"
+)
+
+// Maximal returns the frequent patterns that are not contained in any
+// larger frequent pattern. Section 9 of the paper points to "recent
+// work in finding maximal graph patterns, i.e., ignoring sub-patterns
+// of a frequent pattern" as the answer to the flood of trivial
+// frequent patterns it observed even at high supports.
+func (r *Result) Maximal() []Pattern {
+	var out []Pattern
+	for i := range r.Patterns {
+		p := &r.Patterns[i]
+		maximal := true
+		for j := range r.Patterns {
+			q := &r.Patterns[j]
+			if q.Graph.NumEdges() <= p.Graph.NumEdges() {
+				continue
+			}
+			if iso.Contains(q.Graph, p.Graph) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, *p)
+		}
+	}
+	sortPatterns(out)
+	return out
+}
+
+// Closed returns the frequent patterns with no super-pattern of equal
+// support: the lossless compression of the frequent-pattern set
+// (every frequent pattern's support is recoverable from the closed
+// set).
+func (r *Result) Closed() []Pattern {
+	var out []Pattern
+	for i := range r.Patterns {
+		p := &r.Patterns[i]
+		closed := true
+		for j := range r.Patterns {
+			q := &r.Patterns[j]
+			if q.Graph.NumEdges() <= p.Graph.NumEdges() || q.Support != p.Support {
+				continue
+			}
+			if iso.Contains(q.Graph, p.Graph) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, *p)
+		}
+	}
+	sortPatterns(out)
+	return out
+}
+
+func sortPatterns(ps []Pattern) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].Graph.NumEdges() != ps[j].Graph.NumEdges() {
+			return ps[i].Graph.NumEdges() > ps[j].Graph.NumEdges()
+		}
+		if ps[i].Support != ps[j].Support {
+			return ps[i].Support > ps[j].Support
+		}
+		return ps[i].Code < ps[j].Code
+	})
+}

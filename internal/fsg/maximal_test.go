@@ -1,0 +1,84 @@
+package fsg
+
+import (
+	"testing"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+)
+
+func TestMaximalDropsSubPatterns(t *testing.T) {
+	// Every transaction contains the same 3-edge chain, so all of its
+	// sub-chains are frequent; Maximal must keep only the 3-edge chain.
+	mk := func() *graph.Graph {
+		return mkTxn([][3]interface{}{{0, 1, "a"}, {1, 2, "a"}, {2, 3, "a"}})
+	}
+	txns := []*graph.Graph{mk(), mk(), mk()}
+	res, err := Mine(txns, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) < 3 {
+		t.Fatalf("expected sub-chains among %d patterns", len(res.Patterns))
+	}
+	maximal := res.Maximal()
+	if len(maximal) != 1 {
+		for _, m := range maximal {
+			t.Logf("maximal: %s", m.Graph.Dump())
+		}
+		t.Fatalf("maximal = %d, want 1", len(maximal))
+	}
+	want := mkTxn([][3]interface{}{{0, 1, "a"}, {1, 2, "a"}, {2, 3, "a"}})
+	if !iso.Isomorphic(maximal[0].Graph, want) {
+		t.Fatalf("maximal pattern is not the full chain:\n%s", maximal[0].Graph.Dump())
+	}
+}
+
+func TestClosedKeepsSupportChanges(t *testing.T) {
+	// The 1-edge "a" pattern has support 4; the 2-edge "a,a" chain has
+	// support 2. Both are closed (different supports); the 1-edge
+	// pattern is not maximal.
+	long := func() *graph.Graph {
+		return mkTxn([][3]interface{}{{0, 1, "a"}, {1, 2, "a"}})
+	}
+	short := func() *graph.Graph {
+		return mkTxn([][3]interface{}{{0, 1, "a"}})
+	}
+	txns := []*graph.Graph{long(), long(), short(), short()}
+	res, err := Mine(txns, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := res.Closed()
+	maximal := res.Maximal()
+	if len(closed) != 2 {
+		t.Fatalf("closed = %d, want 2", len(closed))
+	}
+	if len(maximal) != 1 {
+		t.Fatalf("maximal = %d, want 1", len(maximal))
+	}
+	// Closed supersets maximal.
+	if len(closed) < len(maximal) {
+		t.Fatal("closed set smaller than maximal set")
+	}
+}
+
+func TestMaximalOrdering(t *testing.T) {
+	mk := func(edges [][3]interface{}) *graph.Graph { return mkTxn(edges) }
+	txns := []*graph.Graph{
+		mk([][3]interface{}{{0, 1, "a"}, {1, 2, "b"}}),
+		mk([][3]interface{}{{0, 1, "a"}, {1, 2, "b"}}),
+		mk([][3]interface{}{{0, 1, "c"}}),
+		mk([][3]interface{}{{0, 1, "c"}}),
+	}
+	res, err := Mine(txns, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal := res.Maximal()
+	for i := 1; i < len(maximal); i++ {
+		if maximal[i].Graph.NumEdges() > maximal[i-1].Graph.NumEdges() {
+			t.Fatal("maximal not sorted by size desc")
+		}
+	}
+}

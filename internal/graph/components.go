@@ -1,0 +1,86 @@
+package graph
+
+import "sort"
+
+// WeaklyConnectedComponents partitions the live vertices of g into
+// weakly connected components (treating every edge as undirected) and
+// returns each component as a sorted vertex-ID slice, largest first.
+func (g *Graph) WeaklyConnectedComponents() [][]VertexID {
+	visited := make(map[VertexID]bool, g.numVertices)
+	var comps [][]VertexID
+	for _, start := range g.Vertices() {
+		if visited[start] {
+			continue
+		}
+		comp := []VertexID{}
+		stack := []VertexID{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// SplitComponents returns one compact graph per weakly connected
+// component of g. Section 6 of the paper breaks each disconnected
+// per-day graph transaction into multiple connected graph
+// transactions before handing them to FSG.
+func (g *Graph) SplitComponents() []*Graph {
+	comps := g.WeaklyConnectedComponents()
+	graphs := make([]*Graph, 0, len(comps))
+	for i, comp := range comps {
+		name := g.Name
+		if len(comps) > 1 {
+			name = g.Name + "/" + itoa(i)
+		}
+		graphs = append(graphs, g.InducedSubgraph(name, comp))
+	}
+	return graphs
+}
+
+// IsConnected reports whether g is weakly connected (and non-empty).
+func (g *Graph) IsConnected() bool {
+	if g.numVertices == 0 {
+		return false
+	}
+	return len(g.WeaklyConnectedComponents()) == 1
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}

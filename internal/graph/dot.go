@@ -1,0 +1,23 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, the usual way to
+// visualise the figures' patterns. Vertex names are v<ID>; labels
+// escape double quotes.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	for _, v := range g.Vertices() {
+		fmt.Fprintf(&b, "  v%d [label=%q];\n", v, g.Vertex(v).Label)
+	}
+	for _, e := range g.Edges() {
+		ed := g.Edge(e)
+		fmt.Fprintf(&b, "  v%d -> v%d [label=%q];\n", ed.From, ed.To, ed.Label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyOpSequence drives a random operation sequence against
+// the graph and a naive reference model, checking counts, degrees and
+// component invariants stay consistent throughout.
+func TestPropertyOpSequence(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New("prop")
+		type refEdge struct {
+			from, to VertexID
+			alive    bool
+		}
+		var refVerts []bool
+		var refEdges []refEdge
+
+		aliveVertices := func() []VertexID {
+			var vs []VertexID
+			for i, alive := range refVerts {
+				if alive {
+					vs = append(vs, VertexID(i))
+				}
+			}
+			return vs
+		}
+
+		for _, op := range opsRaw {
+			switch op % 4 {
+			case 0: // add vertex
+				g.AddVertex("*")
+				refVerts = append(refVerts, true)
+			case 1: // add edge
+				vs := aliveVertices()
+				if len(vs) < 2 {
+					continue
+				}
+				a := vs[rng.Intn(len(vs))]
+				b := vs[rng.Intn(len(vs))]
+				g.AddEdge(a, b, "e")
+				refEdges = append(refEdges, refEdge{a, b, true})
+			case 2: // remove edge
+				if len(refEdges) == 0 {
+					continue
+				}
+				i := rng.Intn(len(refEdges))
+				g.RemoveEdge(EdgeID(i))
+				refEdges[i].alive = false
+			case 3: // remove vertex
+				vs := aliveVertices()
+				if len(vs) == 0 {
+					continue
+				}
+				v := vs[rng.Intn(len(vs))]
+				g.RemoveVertex(v)
+				refVerts[v] = false
+				for i := range refEdges {
+					if refEdges[i].alive && (refEdges[i].from == v || refEdges[i].to == v) {
+						refEdges[i].alive = false
+					}
+				}
+			}
+		}
+
+		// Invariants.
+		nv, ne := 0, 0
+		for _, alive := range refVerts {
+			if alive {
+				nv++
+			}
+		}
+		outDeg := map[VertexID]int{}
+		inDeg := map[VertexID]int{}
+		for _, e := range refEdges {
+			if e.alive {
+				ne++
+				outDeg[e.from]++
+				inDeg[e.to]++
+			}
+		}
+		if g.NumVertices() != nv || g.NumEdges() != ne {
+			return false
+		}
+		for i, alive := range refVerts {
+			v := VertexID(i)
+			if g.HasVertex(v) != alive {
+				return false
+			}
+			if alive && (g.OutDegree(v) != outDeg[v] || g.InDegree(v) != inDeg[v]) {
+				return false
+			}
+		}
+		// Compact preserves counts.
+		c, _ := g.Compact()
+		if c.NumVertices() != nv || c.NumEdges() != ne {
+			return false
+		}
+		// Component vertex sets partition the live vertices.
+		total := 0
+		for _, comp := range g.WeaklyConnectedComponents() {
+			total += len(comp)
+		}
+		return total == nv
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

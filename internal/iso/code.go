@@ -1,0 +1,248 @@
+package iso
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tnkd/internal/graph"
+)
+
+// Code returns a quasi-canonical string code for g: isomorphic graphs
+// always receive equal codes, and non-isomorphic graphs receive
+// distinct codes unless the permutation budget is exceeded (large
+// automorphism classes), in which case the code is prefixed with "~"
+// and callers must fall back to Isomorphic for exact comparison.
+// Pattern graphs in this codebase are small (a few dozen vertices at
+// most), so the exact path is the overwhelmingly common one.
+func Code(g *graph.Graph) string {
+	vs := g.Vertices()
+	if len(vs) == 0 {
+		return "∅"
+	}
+	classes := refine(g, vs)
+	perms := countPerms(classes)
+	const permBudget = 50000
+	if perms > permBudget {
+		return "~" + invariantCode(g, vs)
+	}
+	best := ""
+	enumerate(classes, func(order []graph.VertexID) {
+		c := renderCode(g, order)
+		if best == "" || c < best {
+			best = c
+		}
+	})
+	return best
+}
+
+// CodesEqual reports whether two codes certify isomorphism: exact
+// codes compare directly; approximate codes (prefix "~") only certify
+// inequality when different.
+func CodesEqual(a, b string) (equal, exact bool) {
+	if strings.HasPrefix(a, "~") || strings.HasPrefix(b, "~") {
+		return a == b, false
+	}
+	return a == b, true
+}
+
+// Fingerprint returns a cheap isomorphism-invariant string for g:
+// isomorphic graphs always share a fingerprint, but distinct graphs
+// may occasionally collide, so callers must confirm with Isomorphic.
+// Use this instead of Code in hot paths where patterns may be large
+// or highly symmetric (Code's canonical search is exponential in
+// automorphism-class size).
+func Fingerprint(g *graph.Graph) string {
+	return invariantCode(g, g.Vertices())
+}
+
+// vertexInvariant is the refinement key of a vertex: its label plus
+// the multiset of (direction, edge label) of incident edges.
+func vertexInvariant(g *graph.Graph, v graph.VertexID) string {
+	var parts []string
+	for _, e := range g.OutEdges(v) {
+		parts = append(parts, ">"+g.Edge(e).Label)
+	}
+	for _, e := range g.InEdges(v) {
+		parts = append(parts, "<"+g.Edge(e).Label)
+	}
+	sort.Strings(parts)
+	return g.Vertex(v).Label + "|" + strings.Join(parts, ",")
+}
+
+// refine partitions vertices into ordered equivalence classes by
+// iterated Weisfeiler–Leman-style refinement over labels and
+// neighborhood class signatures.
+func refine(g *graph.Graph, vs []graph.VertexID) [][]graph.VertexID {
+	sig := make(map[graph.VertexID]string, len(vs))
+	for _, v := range vs {
+		sig[v] = vertexInvariant(g, v)
+	}
+	for iter := 0; iter < len(vs); iter++ {
+		next := make(map[graph.VertexID]string, len(vs))
+		for _, v := range vs {
+			var nbr []string
+			for _, e := range g.OutEdges(v) {
+				nbr = append(nbr, ">"+g.Edge(e).Label+"/"+sig[g.Edge(e).To])
+			}
+			for _, e := range g.InEdges(v) {
+				nbr = append(nbr, "<"+g.Edge(e).Label+"/"+sig[g.Edge(e).From])
+			}
+			sort.Strings(nbr)
+			next[v] = hashStr(sig[v] + "#" + strings.Join(nbr, ","))
+		}
+		if countClasses(vs, next) == countClasses(vs, sig) {
+			sig = next
+			break
+		}
+		sig = next
+	}
+	bySig := make(map[string][]graph.VertexID)
+	for _, v := range vs {
+		bySig[sig[v]] = append(bySig[sig[v]], v)
+	}
+	keys := make([]string, 0, len(bySig))
+	for k := range bySig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	classes := make([][]graph.VertexID, 0, len(keys))
+	for _, k := range keys {
+		class := bySig[k]
+		sort.Slice(class, func(i, j int) bool { return class[i] < class[j] })
+		classes = append(classes, class)
+	}
+	return classes
+}
+
+func countClasses(vs []graph.VertexID, sig map[graph.VertexID]string) int {
+	set := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		set[sig[v]] = true
+	}
+	return len(set)
+}
+
+// hashStr compresses long signature strings with FNV-1a to keep
+// refinement cheap; collisions only cost permutation budget, never
+// correctness (renderCode compares real adjacency).
+func hashStr(s string) string {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func countPerms(classes [][]graph.VertexID) int {
+	total := 1
+	for _, c := range classes {
+		f := 1
+		for i := 2; i <= len(c); i++ {
+			f *= i
+			if f > 1<<30 {
+				return 1 << 30
+			}
+		}
+		total *= f
+		if total > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return total
+}
+
+// enumerate calls fn with every vertex ordering obtained by permuting
+// vertices within their refinement classes (classes stay in order).
+func enumerate(classes [][]graph.VertexID, fn func([]graph.VertexID)) {
+	order := make([]graph.VertexID, 0)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(classes) {
+			fn(order)
+			return
+		}
+		permute(classes[i], func(p []graph.VertexID) {
+			order = append(order, p...)
+			rec(i + 1)
+			order = order[:len(order)-len(p)]
+		})
+	}
+	rec(0)
+}
+
+// permute enumerates permutations of s (Heap's algorithm, iterative
+// copy per call for safety).
+func permute(s []graph.VertexID, fn func([]graph.VertexID)) {
+	n := len(s)
+	if n == 0 {
+		fn(nil)
+		return
+	}
+	a := append([]graph.VertexID(nil), s...)
+	c := make([]int, n)
+	fn(a)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				a[0], a[i] = a[i], a[0]
+			} else {
+				a[c[i]], a[i] = a[i], a[c[i]]
+			}
+			fn(a)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// renderCode serialises g under the given vertex ordering.
+func renderCode(g *graph.Graph, order []graph.VertexID) string {
+	pos := make(map[graph.VertexID]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	var b strings.Builder
+	for i, v := range order {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(g.Vertex(v).Label)
+	}
+	b.WriteByte('|')
+	edges := make([]string, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		ed := g.Edge(e)
+		edges = append(edges, fmt.Sprintf("%d>%d:%s", pos[ed.From], pos[ed.To], ed.Label))
+	}
+	sort.Strings(edges)
+	b.WriteString(strings.Join(edges, ";"))
+	return b.String()
+}
+
+// invariantCode is the fallback code when the permutation budget is
+// exceeded: vertex-invariant multiset plus edge multiset keyed by
+// endpoint invariants. It never separates isomorphic graphs but may
+// conflate non-isomorphic ones, hence the "~" marker added by Code.
+func invariantCode(g *graph.Graph, vs []graph.VertexID) string {
+	inv := make(map[graph.VertexID]string, len(vs))
+	var vparts []string
+	for _, v := range vs {
+		inv[v] = vertexInvariant(g, v)
+		vparts = append(vparts, inv[v])
+	}
+	sort.Strings(vparts)
+	var eparts []string
+	for _, e := range g.Edges() {
+		ed := g.Edge(e)
+		eparts = append(eparts, inv[ed.From]+">"+ed.Label+">"+inv[ed.To])
+	}
+	sort.Strings(eparts)
+	return strings.Join(vparts, ";") + "|" + strings.Join(eparts, ";")
+}

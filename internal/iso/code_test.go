@@ -1,0 +1,122 @@
+package iso
+
+import (
+	"strings"
+	"testing"
+
+	"tnkd/internal/graph"
+)
+
+func TestCodeEmptyGraph(t *testing.T) {
+	g := graph.New("e")
+	if Code(g) != "∅" {
+		t.Errorf("empty code = %q", Code(g))
+	}
+}
+
+func TestCodeFallbackOnHugeSymmetry(t *testing.T) {
+	// A hub with 60 identical spokes has 60! orderings within one
+	// refinement class — far past the permutation budget, so Code
+	// must fall back to the flagged invariant code instead of
+	// enumerating.
+	g := graph.New("hub")
+	h := g.AddVertex("*")
+	for i := 0; i < 60; i++ {
+		s := g.AddVertex("*")
+		g.AddEdge(h, s, "w")
+	}
+	code := Code(g)
+	if !strings.HasPrefix(code, "~") {
+		t.Errorf("expected fallback (~) code, got %.40q...", code)
+	}
+	// The fallback still matches an isomorphic copy.
+	g2 := graph.New("hub2")
+	h2 := g2.AddVertex("*")
+	for i := 0; i < 60; i++ {
+		s := g2.AddVertex("*")
+		g2.AddEdge(h2, s, "w")
+	}
+	if Code(g2) != code {
+		t.Error("isomorphic hubs with different fallback codes")
+	}
+}
+
+func TestCodesEqualSemantics(t *testing.T) {
+	if eq, exact := CodesEqual("a", "a"); !eq || !exact {
+		t.Error("exact equal codes")
+	}
+	if eq, exact := CodesEqual("a", "b"); eq || !exact {
+		t.Error("exact different codes")
+	}
+	if eq, exact := CodesEqual("~a", "~a"); !eq || exact {
+		t.Error("approx equal codes must not certify exactness")
+	}
+	if eq, _ := CodesEqual("~a", "~b"); eq {
+		t.Error("approx different codes")
+	}
+}
+
+func TestFingerprintMatchesIsomorphs(t *testing.T) {
+	a := graph.New("a")
+	a1 := a.AddVertex("p")
+	a2 := a.AddVertex("q")
+	a.AddEdge(a1, a2, "e")
+	b := graph.New("b")
+	b2 := b.AddVertex("q")
+	b1 := b.AddVertex("p")
+	b.AddEdge(b1, b2, "e")
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("isomorphic graphs with different fingerprints")
+	}
+}
+
+func TestEmbedInSubgraphRespectsRestriction(t *testing.T) {
+	g := graph.New("g")
+	a := g.AddVertex("*")
+	b := g.AddVertex("*")
+	c := g.AddVertex("*")
+	e1 := g.AddEdge(a, b, "x")
+	g.AddEdge(b, c, "x")
+	pat := graph.New("p")
+	pa := pat.AddVertex("*")
+	pb := pat.AddVertex("*")
+	pat.AddEdge(pa, pb, "x")
+
+	vset := map[graph.VertexID]bool{a: true, b: true}
+	eset := map[graph.EdgeID]bool{e1: true}
+	emb, ok := EmbedInSubgraph(pat, g, vset, eset, 1000)
+	if !ok {
+		t.Fatal("restricted embedding not found")
+	}
+	for _, tv := range emb.Vertices {
+		if !vset[tv] {
+			t.Error("embedding escaped vertex restriction")
+		}
+	}
+	// Restricting to a set that cannot host the pattern fails.
+	if _, ok := EmbedInSubgraph(pat, g, map[graph.VertexID]bool{a: true}, eset, 1000); ok {
+		t.Error("embedding into a single vertex should fail")
+	}
+}
+
+func TestGreedyNonOverlapOrderSensitivity(t *testing.T) {
+	mk := func(vs []graph.VertexID, es []graph.EdgeID) Embedding {
+		e := Embedding{Vertices: map[graph.VertexID]graph.VertexID{}, Edges: map[graph.EdgeID]graph.EdgeID{}}
+		for i, v := range vs {
+			e.Vertices[graph.VertexID(i)] = v
+		}
+		for i, id := range es {
+			e.Edges[graph.EdgeID(i)] = id
+		}
+		return e
+	}
+	embs := []Embedding{
+		mk([]graph.VertexID{0, 1}, []graph.EdgeID{0}),
+		mk([]graph.VertexID{1, 2}, []graph.EdgeID{1}), // shares vertex 1
+		mk([]graph.VertexID{3, 4}, []graph.EdgeID{2}),
+	}
+	out := GreedyNonOverlap(embs)
+	if len(out) != 2 {
+		t.Fatalf("disjoint = %d, want 2", len(out))
+	}
+}

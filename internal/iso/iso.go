@@ -1,0 +1,501 @@
+// Package iso implements subgraph isomorphism, graph isomorphism and
+// quasi-canonical codes for the labeled directed multigraphs of
+// package graph.
+//
+// Section 4 of the paper defines when two subgraphs support the same
+// pattern: there must be a bijection between their vertices that
+// preserves vertex labels and maps every labeled edge onto a
+// correspondingly labeled edge. This package supplies exactly that
+// matching relation, used by both the FSG reimplementation (support
+// counting, candidate deduplication) and the SUBDUE reimplementation
+// (instance discovery).
+package iso
+
+import (
+	"sort"
+
+	"tnkd/internal/graph"
+)
+
+// Embedding records one occurrence of a pattern inside a target
+// graph: an injective vertex mapping plus the specific target edge
+// matched by each pattern edge (edge-injective, so multigraph
+// instances consume distinct parallel edges).
+type Embedding struct {
+	Vertices map[graph.VertexID]graph.VertexID // pattern vertex -> target vertex
+	Edges    map[graph.EdgeID]graph.EdgeID     // pattern edge -> target edge
+}
+
+// clone deep-copies an embedding.
+func (e Embedding) clone() Embedding {
+	c := Embedding{
+		Vertices: make(map[graph.VertexID]graph.VertexID, len(e.Vertices)),
+		Edges:    make(map[graph.EdgeID]graph.EdgeID, len(e.Edges)),
+	}
+	for k, v := range e.Vertices {
+		c.Vertices[k] = v
+	}
+	for k, v := range e.Edges {
+		c.Edges[k] = v
+	}
+	return c
+}
+
+// matcher holds the state of one backtracking search.
+type matcher struct {
+	pattern, target *graph.Graph
+
+	order []graph.VertexID // pattern vertex assignment order
+
+	assigned   map[graph.VertexID]graph.VertexID // pattern -> target
+	usedVertex map[graph.VertexID]bool           // target vertices in use
+	usedEdge   map[graph.EdgeID]bool             // target edges in use
+	edgeMap    map[graph.EdgeID]graph.EdgeID
+
+	// excludedEdges / excludedVertices are target elements
+	// unavailable to this search (used by non-overlapping instance
+	// counting).
+	excludedEdges    map[graph.EdgeID]bool
+	excludedVertices map[graph.VertexID]bool
+	restrictVertices map[graph.VertexID]bool
+	restrictEdges    map[graph.EdgeID]bool
+
+	limit   int
+	results []Embedding
+	// maxSteps bounds the number of search-tree nodes expanded; 0
+	// means unbounded. Exceeding the budget aborts the search with
+	// whatever results were found.
+	maxSteps int
+	steps    int
+	aborted  bool
+}
+
+// Options tunes a matching call.
+type Options struct {
+	// Limit stops after this many embeddings (<= 0 finds all).
+	Limit int
+	// MaxSteps bounds backtracking-node expansions (<= 0 unbounded);
+	// searches that exceed it return partial results.
+	MaxSteps int
+	// ExcludedEdges are target edges the match may not use.
+	ExcludedEdges map[graph.EdgeID]bool
+	// ExcludedVertices are target vertices the match may not use.
+	ExcludedVertices map[graph.VertexID]bool
+	// RestrictVertices, when non-nil, limits the match to these
+	// target vertices (used to verify an instance candidate against
+	// a specific target subgraph).
+	RestrictVertices map[graph.VertexID]bool
+	// RestrictEdges, when non-nil, limits the match to these target
+	// edges.
+	RestrictEdges map[graph.EdgeID]bool
+}
+
+// FindEmbeddings returns embeddings of pattern into target under the
+// Section 4 matching relation. The pattern must have at least one
+// vertex. Results are deterministic for identical inputs.
+func FindEmbeddings(pattern, target *graph.Graph, opts Options) []Embedding {
+	if pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices() ||
+		pattern.NumEdges() > target.NumEdges() {
+		return nil
+	}
+	m := &matcher{
+		pattern:          pattern,
+		target:           target,
+		order:            searchOrder(pattern),
+		assigned:         make(map[graph.VertexID]graph.VertexID, pattern.NumVertices()),
+		usedVertex:       make(map[graph.VertexID]bool, pattern.NumVertices()),
+		usedEdge:         make(map[graph.EdgeID]bool, pattern.NumEdges()),
+		edgeMap:          make(map[graph.EdgeID]graph.EdgeID, pattern.NumEdges()),
+		excludedEdges:    opts.ExcludedEdges,
+		excludedVertices: opts.ExcludedVertices,
+		restrictVertices: opts.RestrictVertices,
+		restrictEdges:    opts.RestrictEdges,
+		limit:            opts.Limit,
+		maxSteps:         opts.MaxSteps,
+	}
+	m.search(0)
+	return m.results
+}
+
+// Contains reports whether target contains at least one embedding of
+// pattern.
+func Contains(target, pattern *graph.Graph) bool {
+	return len(FindEmbeddings(pattern, target, Options{Limit: 1})) > 0
+}
+
+// ContainsBudget is Contains with a step budget; it returns
+// (found, completed) where completed is false if the search aborted
+// on budget before finding anything.
+func ContainsBudget(target, pattern *graph.Graph, maxSteps int) (found, completed bool) {
+	m := &matcher{
+		pattern:    pattern,
+		target:     target,
+		order:      searchOrder(pattern),
+		assigned:   make(map[graph.VertexID]graph.VertexID, pattern.NumVertices()),
+		usedVertex: make(map[graph.VertexID]bool, pattern.NumVertices()),
+		usedEdge:   make(map[graph.EdgeID]bool, pattern.NumEdges()),
+		edgeMap:    make(map[graph.EdgeID]graph.EdgeID, pattern.NumEdges()),
+		limit:      1,
+		maxSteps:   maxSteps,
+	}
+	if pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices() ||
+		pattern.NumEdges() > target.NumEdges() {
+		return false, true
+	}
+	m.search(0)
+	return len(m.results) > 0, !m.aborted
+}
+
+// searchOrder returns the pattern vertices ordered so that after the
+// first, every vertex is adjacent to an earlier one when possible
+// (connected patterns then never branch on disconnected candidates).
+// Ties break toward higher degree for earlier pruning.
+func searchOrder(p *graph.Graph) []graph.VertexID {
+	vs := p.Vertices()
+	if len(vs) == 0 {
+		return nil
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		di, dj := p.Degree(vs[i]), p.Degree(vs[j])
+		if di != dj {
+			return di > dj
+		}
+		return vs[i] < vs[j]
+	})
+	order := []graph.VertexID{vs[0]}
+	placed := map[graph.VertexID]bool{vs[0]: true}
+	for len(order) < len(vs) {
+		best := graph.VertexID(-1)
+		bestDeg := -1
+		// Prefer vertices adjacent to the placed set.
+		for _, v := range vs {
+			if placed[v] {
+				continue
+			}
+			adj := false
+			for _, u := range p.Neighbors(v) {
+				if placed[u] {
+					adj = true
+					break
+				}
+			}
+			if adj && p.Degree(v) > bestDeg {
+				best, bestDeg = v, p.Degree(v)
+			}
+		}
+		if best == -1 {
+			for _, v := range vs {
+				if !placed[v] {
+					best = v
+					break
+				}
+			}
+		}
+		order = append(order, best)
+		placed[best] = true
+	}
+	return order
+}
+
+func (m *matcher) search(depth int) bool {
+	if m.maxSteps > 0 {
+		m.steps++
+		if m.steps > m.maxSteps {
+			m.aborted = true
+			return true // stop everything
+		}
+	}
+	if depth == len(m.order) {
+		m.results = append(m.results, Embedding{Vertices: m.assigned, Edges: m.edgeMap}.clone())
+		return m.limit > 0 && len(m.results) >= m.limit
+	}
+	pv := m.order[depth]
+	for _, tv := range m.candidates(pv) {
+		if m.usedVertex[tv] || (m.excludedVertices != nil && m.excludedVertices[tv]) {
+			continue
+		}
+		if m.restrictVertices != nil && !m.restrictVertices[tv] {
+			continue
+		}
+		chosen, ok := m.tryAssign(pv, tv)
+		if !ok {
+			continue
+		}
+		m.assigned[pv] = tv
+		m.usedVertex[tv] = true
+		if m.search(depth + 1) {
+			return true
+		}
+		m.unassign(pv, tv, chosen)
+	}
+	return false
+}
+
+// candidates returns plausible target vertices for pattern vertex pv.
+// If pv has an already-assigned neighbor, candidates come from that
+// neighbor's adjacency; otherwise all target vertices are scanned.
+func (m *matcher) candidates(pv graph.VertexID) []graph.VertexID {
+	plabel := m.pattern.Vertex(pv).Label
+	// Find an assigned pattern neighbor to anchor the candidate set.
+	for _, pe := range m.pattern.OutEdges(pv) {
+		to := m.pattern.Edge(pe).To
+		if tv, ok := m.assigned[to]; ok {
+			return m.filterCands(m.inNeighbors(tv), plabel, pv)
+		}
+	}
+	for _, pe := range m.pattern.InEdges(pv) {
+		from := m.pattern.Edge(pe).From
+		if tv, ok := m.assigned[from]; ok {
+			return m.filterCands(m.outNeighbors(tv), plabel, pv)
+		}
+	}
+	var all []graph.VertexID
+	for _, tv := range m.target.Vertices() {
+		all = append(all, tv)
+	}
+	return m.filterCands(all, plabel, pv)
+}
+
+func (m *matcher) inNeighbors(tv graph.VertexID) []graph.VertexID {
+	var res []graph.VertexID
+	seen := map[graph.VertexID]bool{}
+	for _, e := range m.target.InEdges(tv) {
+		f := m.target.Edge(e).From
+		if !seen[f] {
+			seen[f] = true
+			res = append(res, f)
+		}
+	}
+	return res
+}
+
+func (m *matcher) outNeighbors(tv graph.VertexID) []graph.VertexID {
+	var res []graph.VertexID
+	seen := map[graph.VertexID]bool{}
+	for _, e := range m.target.OutEdges(tv) {
+		t := m.target.Edge(e).To
+		if !seen[t] {
+			seen[t] = true
+			res = append(res, t)
+		}
+	}
+	return res
+}
+
+func (m *matcher) filterCands(cands []graph.VertexID, plabel string, pv graph.VertexID) []graph.VertexID {
+	pOut, pIn := m.pattern.OutDegree(pv), m.pattern.InDegree(pv)
+	res := cands[:0]
+	for _, tv := range cands {
+		if m.target.Vertex(tv).Label != plabel {
+			continue
+		}
+		if m.target.OutDegree(tv) < pOut || m.target.InDegree(tv) < pIn {
+			continue
+		}
+		res = append(res, tv)
+	}
+	return res
+}
+
+// tryAssign checks that mapping pv -> tv is consistent with edges to
+// already-assigned vertices, greedily reserving one unused target
+// edge per pattern edge. It returns the reserved pattern edges for
+// rollback.
+func (m *matcher) tryAssign(pv, tv graph.VertexID) ([]graph.EdgeID, bool) {
+	var reserved []graph.EdgeID
+	rollback := func() {
+		for _, pe := range reserved {
+			te := m.edgeMap[pe]
+			delete(m.edgeMap, pe)
+			delete(m.usedEdge, te)
+		}
+	}
+	// Outgoing pattern edges pv -> assigned.
+	for _, pe := range m.pattern.OutEdges(pv) {
+		ped := m.pattern.Edge(pe)
+		tu, ok := m.assigned[ped.To]
+		if !ok {
+			continue
+		}
+		if !m.reserveEdge(pe, tv, tu, ped.Label, &reserved) {
+			rollback()
+			return nil, false
+		}
+	}
+	// Incoming pattern edges assigned -> pv.
+	for _, pe := range m.pattern.InEdges(pv) {
+		ped := m.pattern.Edge(pe)
+		tu, ok := m.assigned[ped.From]
+		if !ok {
+			continue
+		}
+		if m.hasEdgeMap(pe) {
+			continue // self-loop already reserved via the OutEdges pass
+		}
+		if !m.reserveEdge(pe, tu, tv, ped.Label, &reserved) {
+			rollback()
+			return nil, false
+		}
+	}
+	return reserved, true
+}
+
+func (m *matcher) hasEdgeMap(pe graph.EdgeID) bool {
+	_, ok := m.edgeMap[pe]
+	return ok
+}
+
+// reserveEdge finds an unused target edge from -> to with the given
+// label and reserves it for pattern edge pe.
+func (m *matcher) reserveEdge(pe graph.EdgeID, from, to graph.VertexID, label string, reserved *[]graph.EdgeID) bool {
+	for _, te := range m.target.OutEdges(from) {
+		ted := m.target.Edge(te)
+		if ted.To != to || ted.Label != label {
+			continue
+		}
+		if m.usedEdge[te] || (m.excludedEdges != nil && m.excludedEdges[te]) {
+			continue
+		}
+		if m.restrictEdges != nil && !m.restrictEdges[te] {
+			continue
+		}
+		m.usedEdge[te] = true
+		m.edgeMap[pe] = te
+		*reserved = append(*reserved, pe)
+		return true
+	}
+	return false
+}
+
+func (m *matcher) unassign(pv, tv graph.VertexID, reserved []graph.EdgeID) {
+	for _, pe := range reserved {
+		te := m.edgeMap[pe]
+		delete(m.edgeMap, pe)
+		delete(m.usedEdge, te)
+	}
+	delete(m.assigned, pv)
+	delete(m.usedVertex, tv)
+}
+
+// Isomorphic reports whether a and b are isomorphic labeled directed
+// multigraphs (Section 4's "identical" relation).
+func Isomorphic(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if a.NumVertices() == 0 {
+		return true
+	}
+	// An injective, edge-injective embedding between equal-size
+	// graphs is a bijection on both vertices and edges.
+	return Contains(b, a)
+}
+
+// CountEmbeddings returns the number of embeddings of pattern in
+// target, up to limit (<= 0 for all). Automorphic images of the same
+// subgraph are counted separately.
+func CountEmbeddings(pattern, target *graph.Graph, limit int) int {
+	return len(FindEmbeddings(pattern, target, Options{Limit: limit}))
+}
+
+// CountNonOverlapping greedily counts pairwise edge-disjoint
+// instances of pattern in target. SUBDUE evaluates substructures by
+// the number of non-overlapping instances (the paper runs it "without
+// allowing overlap"); greedy extraction gives the standard lower
+// bound used by the original system.
+func CountNonOverlapping(pattern, target *graph.Graph, maxSteps int) int {
+	excluded := make(map[graph.EdgeID]bool)
+	count := 0
+	for {
+		embs := FindEmbeddings(pattern, target, Options{
+			Limit: 1, MaxSteps: maxSteps, ExcludedEdges: excluded,
+		})
+		if len(embs) == 0 {
+			return count
+		}
+		count++
+		for _, te := range embs[0].Edges {
+			excluded[te] = true
+		}
+	}
+}
+
+// EmbedInSubgraph finds one embedding of pattern using only the given
+// target vertices and edges — verifying that a concrete target
+// subgraph is an instance of pattern. The search space is tiny
+// (pattern-sized), so this is cheap.
+func EmbedInSubgraph(pattern, target *graph.Graph, vset map[graph.VertexID]bool, eset map[graph.EdgeID]bool, maxSteps int) (Embedding, bool) {
+	embs := FindEmbeddings(pattern, target, Options{
+		Limit: 1, MaxSteps: maxSteps,
+		RestrictVertices: vset, RestrictEdges: eset,
+	})
+	if len(embs) == 0 {
+		return Embedding{}, false
+	}
+	return embs[0], true
+}
+
+// GreedyNonOverlap selects a maximal prefix-greedy subset of
+// embeddings that are pairwise vertex- and edge-disjoint — the
+// "no overlap" instance count SUBDUE evaluates with.
+func GreedyNonOverlap(embs []Embedding) []Embedding {
+	usedV := make(map[graph.VertexID]bool)
+	usedE := make(map[graph.EdgeID]bool)
+	var out []Embedding
+	for _, emb := range embs {
+		ok := true
+		for _, tv := range emb.Vertices {
+			if usedV[tv] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, te := range emb.Edges {
+				if usedE[te] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, tv := range emb.Vertices {
+			usedV[tv] = true
+		}
+		for _, te := range emb.Edges {
+			usedE[te] = true
+		}
+		out = append(out, emb)
+	}
+	return out
+}
+
+// FindNonOverlapping greedily extracts pairwise vertex- and
+// edge-disjoint instances of pattern in target, up to maxInstances
+// (<= 0 for all). Vertex-disjointness is the "no overlap" notion of
+// the paper's SUBDUE runs and guarantees termination even for
+// edgeless patterns.
+func FindNonOverlapping(pattern, target *graph.Graph, maxInstances, maxSteps int) []Embedding {
+	exEdges := make(map[graph.EdgeID]bool)
+	exVertices := make(map[graph.VertexID]bool)
+	var result []Embedding
+	for maxInstances <= 0 || len(result) < maxInstances {
+		embs := FindEmbeddings(pattern, target, Options{
+			Limit: 1, MaxSteps: maxSteps,
+			ExcludedEdges: exEdges, ExcludedVertices: exVertices,
+		})
+		if len(embs) == 0 {
+			return result
+		}
+		result = append(result, embs[0])
+		for _, te := range embs[0].Edges {
+			exEdges[te] = true
+		}
+		for _, tv := range embs[0].Vertices {
+			exVertices[tv] = true
+		}
+	}
+	return result
+}

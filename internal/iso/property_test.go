@@ -1,0 +1,195 @@
+package iso
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tnkd/internal/graph"
+)
+
+// randGraph builds a random labeled directed graph.
+func randGraph(rng *rand.Rand, maxV, maxE, vLabels, eLabels int) *graph.Graph {
+	g := graph.New("r")
+	nv := 2 + rng.Intn(maxV-1)
+	vs := make([]graph.VertexID, nv)
+	for i := range vs {
+		vs[i] = g.AddVertex(fmt.Sprintf("v%d", rng.Intn(vLabels)))
+	}
+	ne := 1 + rng.Intn(maxE)
+	for i := 0; i < ne; i++ {
+		a, b := vs[rng.Intn(nv)], vs[rng.Intn(nv)]
+		if a != b {
+			g.AddEdge(a, b, fmt.Sprintf("e%d", rng.Intn(eLabels)))
+		}
+	}
+	return g
+}
+
+// randomConnectedSubgraph extracts a random connected subgraph of g
+// (guaranteed embeddable by construction).
+func randomConnectedSubgraph(rng *rand.Rand, g *graph.Graph, edges int) *graph.Graph {
+	all := g.Edges()
+	if len(all) == 0 {
+		return nil
+	}
+	start := all[rng.Intn(len(all))]
+	chosen := map[graph.EdgeID]bool{start: true}
+	touched := map[graph.VertexID]bool{}
+	ed := g.Edge(start)
+	touched[ed.From], touched[ed.To] = true, true
+	for len(chosen) < edges {
+		var candidates []graph.EdgeID
+		for v := range touched {
+			for _, e := range append(g.OutEdges(v), g.InEdges(v)...) {
+				if !chosen[e] {
+					candidates = append(candidates, e)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		e := candidates[rng.Intn(len(candidates))]
+		chosen[e] = true
+		eed := g.Edge(e)
+		touched[eed.From], touched[eed.To] = true, true
+	}
+	sub := graph.New("sub")
+	remap := map[graph.VertexID]graph.VertexID{}
+	vtx := func(v graph.VertexID) graph.VertexID {
+		if id, ok := remap[v]; ok {
+			return id
+		}
+		id := sub.AddVertex(g.Vertex(v).Label)
+		remap[v] = id
+		return id
+	}
+	for e := range chosen {
+		eed := g.Edge(e)
+		sub.AddEdge(vtx(eed.From), vtx(eed.To), eed.Label)
+	}
+	return sub
+}
+
+// PropertySubgraphAlwaysEmbeds: a subgraph extracted from g must be
+// found by the matcher — completeness on positive instances.
+func TestPropertySubgraphAlwaysEmbeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		g := randGraph(rng, 8, 14, 2, 3)
+		sub := randomConnectedSubgraph(rng, g, 1+rng.Intn(4))
+		if sub == nil {
+			continue
+		}
+		if !Contains(g, sub) {
+			t.Fatalf("trial %d: extracted subgraph not found\ngraph:\n%starget:\n%s",
+				trial, g.Dump(), sub.Dump())
+		}
+	}
+}
+
+// PropertyEmbeddingIsValid: every reported embedding maps labels,
+// directions and multiplicities correctly.
+func TestPropertyEmbeddingIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		g := randGraph(rng, 7, 12, 2, 2)
+		pat := randomConnectedSubgraph(rng, g, 1+rng.Intn(3))
+		if pat == nil {
+			continue
+		}
+		embs := FindEmbeddings(pat, g, Options{Limit: 10})
+		if len(embs) == 0 {
+			t.Fatalf("trial %d: no embedding for extracted subgraph", trial)
+		}
+		for _, emb := range embs {
+			// Vertex injectivity.
+			seen := map[graph.VertexID]bool{}
+			for pv, tv := range emb.Vertices {
+				if seen[tv] {
+					t.Fatalf("trial %d: vertex mapping not injective", trial)
+				}
+				seen[tv] = true
+				if pat.Vertex(pv).Label != g.Vertex(tv).Label {
+					t.Fatalf("trial %d: vertex label mismatch", trial)
+				}
+			}
+			// Edge consistency and injectivity.
+			seenE := map[graph.EdgeID]bool{}
+			for pe, te := range emb.Edges {
+				if seenE[te] {
+					t.Fatalf("trial %d: edge mapping not injective", trial)
+				}
+				seenE[te] = true
+				ped, ted := pat.Edge(pe), g.Edge(te)
+				if ped.Label != ted.Label {
+					t.Fatalf("trial %d: edge label mismatch", trial)
+				}
+				if emb.Vertices[ped.From] != ted.From || emb.Vertices[ped.To] != ted.To {
+					t.Fatalf("trial %d: edge endpoints mismatch", trial)
+				}
+			}
+			if len(emb.Edges) != pat.NumEdges() {
+				t.Fatalf("trial %d: incomplete edge mapping", trial)
+			}
+		}
+	}
+}
+
+// PropertyIsomorphismEquivalence: Isomorphic is reflexive and
+// symmetric, and implies equal Codes.
+func TestPropertyIsomorphismEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 80; trial++ {
+		a := randGraph(rng, 6, 9, 2, 2)
+		b := randGraph(rng, 6, 9, 2, 2)
+		if !Isomorphic(a, a) {
+			t.Fatalf("trial %d: not reflexive", trial)
+		}
+		ab, ba := Isomorphic(a, b), Isomorphic(b, a)
+		if ab != ba {
+			t.Fatalf("trial %d: not symmetric", trial)
+		}
+		if ab && Code(a) != Code(b) {
+			t.Fatalf("trial %d: isomorphic graphs with different codes", trial)
+		}
+		if !ab {
+			ca, cb := Code(a), Code(b)
+			if eq, exact := CodesEqual(ca, cb); eq && exact {
+				t.Fatalf("trial %d: non-isomorphic graphs share an exact code\n%s\n%s",
+					trial, a.Dump(), b.Dump())
+			}
+		}
+	}
+}
+
+// PropertyNonOverlapDisjoint: instances returned by FindNonOverlapping
+// share no vertices or edges.
+func TestPropertyNonOverlapDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		g := randGraph(rng, 10, 18, 1, 2)
+		pat := randomConnectedSubgraph(rng, g, 1+rng.Intn(2))
+		if pat == nil {
+			continue
+		}
+		insts := FindNonOverlapping(pat, g, 0, 100000)
+		usedV := map[graph.VertexID]bool{}
+		usedE := map[graph.EdgeID]bool{}
+		for _, inst := range insts {
+			for _, tv := range inst.Vertices {
+				if usedV[tv] {
+					t.Fatalf("trial %d: shared vertex across instances", trial)
+				}
+				usedV[tv] = true
+			}
+			for _, te := range inst.Edges {
+				if usedE[te] {
+					t.Fatalf("trial %d: shared edge across instances", trial)
+				}
+				usedE[te] = true
+			}
+		}
+	}
+}

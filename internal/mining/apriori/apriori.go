@@ -1,0 +1,343 @@
+// Package apriori implements classic Apriori association-rule mining
+// (Agrawal & Srikant 1994) over nominal attribute-value items — the
+// stand-in for Weka's Apriori used in Section 7.1 of the paper.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is one attribute=value literal.
+type Item struct {
+	Attr  string
+	Value string
+}
+
+// String renders the item in the paper's ATTR(X, value) style.
+func (it Item) String() string { return fmt.Sprintf("%s(X, %s)", it.Attr, it.Value) }
+
+// Itemset is a sorted set of items (one value per attribute).
+type Itemset []Item
+
+func (s Itemset) String() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// key returns a canonical map key for the itemset.
+func (s Itemset) key() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.Attr + "\x00" + it.Value
+	}
+	return strings.Join(parts, "\x01")
+}
+
+func sortItems(s Itemset) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Attr != s[j].Attr {
+			return s[i].Attr < s[j].Attr
+		}
+		return s[i].Value < s[j].Value
+	})
+}
+
+// Rule is an association rule antecedent => consequent.
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	// Count is the number of rows containing antecedent ∪ consequent.
+	Count int
+	// Support is Count / total rows.
+	Support float64
+	// Confidence is Count / count(antecedent).
+	Confidence float64
+	// Lift is Confidence / support(consequent).
+	Lift float64
+}
+
+// String renders the rule in the paper's arrow form.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s → %s  (sup %.3f, conf %.2f, lift %.2f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the minimum fraction of rows an itemset must
+	// cover. Must be in (0, 1].
+	MinSupport float64
+	// MinConfidence filters generated rules (0 keeps all).
+	MinConfidence float64
+	// MaxLen caps itemset length (0 = 4, matching Weka's default
+	// practicality cap for rule readability).
+	MaxLen int
+}
+
+// Result holds frequent itemsets (by level) and rules, both in
+// deterministic order.
+type Result struct {
+	// Frequent[k] lists the frequent itemsets of size k+1 with their
+	// row counts.
+	Frequent []map[string]int
+	Itemsets []Itemset
+	Rules    []Rule
+	NumRows  int
+}
+
+// Mine runs Apriori over the rows.
+func Mine(rows []Itemset, opts Options) (*Result, error) {
+	if opts.MinSupport <= 0 || opts.MinSupport > 1 {
+		return nil, fmt.Errorf("apriori: MinSupport %f out of (0, 1]", opts.MinSupport)
+	}
+	maxLen := opts.MaxLen
+	if maxLen <= 0 {
+		maxLen = 4
+	}
+	for _, r := range rows {
+		sortItems(r)
+	}
+	minCount := int(float64(len(rows))*opts.MinSupport + 0.9999)
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	res := &Result{NumRows: len(rows)}
+
+	// L1.
+	counts := make(map[string]int)
+	byKey := make(map[string]Itemset)
+	for _, row := range rows {
+		for _, it := range row {
+			s := Itemset{it}
+			k := s.key()
+			counts[k]++
+			byKey[k] = s
+		}
+	}
+	level := prune(counts, minCount)
+	res.Frequent = append(res.Frequent, level)
+
+	// Level-wise growth.
+	for k := 2; k <= maxLen && len(level) > 0; k++ {
+		cands := generateCandidates(level, byKey, k)
+		if len(cands) == 0 {
+			break
+		}
+		counts = make(map[string]int)
+		for _, row := range rows {
+			rowSet := make(map[string]bool, len(row))
+			for _, it := range row {
+				rowSet[it.Attr+"\x00"+it.Value] = true
+			}
+			for key, set := range cands {
+				all := true
+				for _, it := range set {
+					if !rowSet[it.Attr+"\x00"+it.Value] {
+						all = false
+						break
+					}
+				}
+				if all {
+					counts[key]++
+				}
+			}
+		}
+		level = prune(counts, minCount)
+		for key := range level {
+			byKey[key] = cands[key]
+		}
+		res.Frequent = append(res.Frequent, level)
+	}
+
+	// Collect itemsets deterministically.
+	for _, lv := range res.Frequent {
+		keys := make([]string, 0, len(lv))
+		for k := range lv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			res.Itemsets = append(res.Itemsets, byKey[k])
+		}
+	}
+
+	res.Rules = generateRules(res, byKey, opts)
+	return res, nil
+}
+
+func prune(counts map[string]int, minCount int) map[string]int {
+	out := make(map[string]int)
+	for k, c := range counts {
+		if c >= minCount {
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// generateCandidates joins (k-1)-itemsets sharing a (k-2)-prefix and
+// prunes candidates with an infrequent subset.
+func generateCandidates(level map[string]int, byKey map[string]Itemset, k int) map[string]Itemset {
+	keys := make([]string, 0, len(level))
+	for key := range level {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	cands := make(map[string]Itemset)
+	for i := 0; i < len(keys); i++ {
+		a := byKey[keys[i]]
+		for j := i + 1; j < len(keys); j++ {
+			b := byKey[keys[j]]
+			joined := join(a, b, k)
+			if joined == nil {
+				continue
+			}
+			key := joined.key()
+			if _, ok := cands[key]; ok {
+				continue
+			}
+			if allSubsetsFrequent(joined, level) {
+				cands[key] = joined
+			}
+		}
+	}
+	return cands
+}
+
+// join merges two (k-1)-itemsets differing in exactly one item, and
+// rejects merges putting two values on the same attribute.
+func join(a, b Itemset, k int) Itemset {
+	merged := make(Itemset, 0, k)
+	merged = append(merged, a...)
+	for _, it := range b {
+		found := false
+		for _, jt := range a {
+			if it == jt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged = append(merged, it)
+		}
+	}
+	if len(merged) != k {
+		return nil
+	}
+	attrs := make(map[string]bool, k)
+	for _, it := range merged {
+		if attrs[it.Attr] {
+			return nil
+		}
+		attrs[it.Attr] = true
+	}
+	sortItems(merged)
+	return merged
+}
+
+func allSubsetsFrequent(set Itemset, level map[string]int) bool {
+	for i := range set {
+		sub := make(Itemset, 0, len(set)-1)
+		sub = append(sub, set[:i]...)
+		sub = append(sub, set[i+1:]...)
+		if _, ok := level[sub.key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// generateRules derives rules from every frequent itemset of size >=
+// 2, enumerating all non-empty proper subsets as antecedents.
+func generateRules(res *Result, byKey map[string]Itemset, opts Options) []Rule {
+	countOf := func(s Itemset) (int, bool) {
+		k := len(s) - 1
+		if k < 0 || k >= len(res.Frequent) {
+			return 0, false
+		}
+		c, ok := res.Frequent[k][s.key()]
+		return c, ok
+	}
+	var rules []Rule
+	for _, set := range res.Itemsets {
+		if len(set) < 2 {
+			continue
+		}
+		total, _ := countOf(set)
+		n := len(set)
+		for mask := 1; mask < (1<<n)-1; mask++ {
+			var ante, cons Itemset
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, set[i])
+				} else {
+					cons = append(cons, set[i])
+				}
+			}
+			anteCount, ok := countOf(ante)
+			if !ok || anteCount == 0 {
+				continue
+			}
+			conf := float64(total) / float64(anteCount)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			consCount, ok := countOf(cons)
+			lift := 0.0
+			if ok && consCount > 0 && res.NumRows > 0 {
+				lift = conf / (float64(consCount) / float64(res.NumRows))
+			}
+			rules = append(rules, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Count:      total,
+				Support:    float64(total) / float64(res.NumRows),
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].String() < rules[j].String()
+	})
+	return rules
+}
+
+// FindRule returns the first rule whose antecedent attributes and
+// consequent attributes match the given lists (order-insensitive),
+// useful for locating the paper's named rules in a result.
+func (r *Result) FindRule(anteAttrs, consAttrs []string) (Rule, bool) {
+	match := func(set Itemset, attrs []string) bool {
+		if len(set) != len(attrs) {
+			return false
+		}
+		have := make(map[string]bool, len(set))
+		for _, it := range set {
+			have[it.Attr] = true
+		}
+		for _, a := range attrs {
+			if !have[a] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, rule := range r.Rules {
+		if match(rule.Antecedent, anteAttrs) && match(rule.Consequent, consAttrs) {
+			return rule, true
+		}
+	}
+	return Rule{}, false
+}

@@ -1,0 +1,148 @@
+package apriori
+
+import (
+	"strings"
+	"testing"
+)
+
+func row(pairs ...string) Itemset {
+	var s Itemset
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s = append(s, Item{Attr: pairs[i], Value: pairs[i+1]})
+	}
+	return s
+}
+
+// weatherRows is a tiny nominal dataset with a deterministic rule:
+// weight=light => mode=LTL (always), and a weaker mode=TL pattern.
+func weatherRows() []Itemset {
+	rows := []Itemset{}
+	for i := 0; i < 8; i++ {
+		rows = append(rows, row("weight", "light", "mode", "LTL", "dist", "short"))
+	}
+	for i := 0; i < 6; i++ {
+		rows = append(rows, row("weight", "heavy", "mode", "TL", "dist", "long"))
+	}
+	rows = append(rows, row("weight", "heavy", "mode", "LTL", "dist", "short"))
+	return rows
+}
+
+func TestMineFindsDeterministicRule(t *testing.T) {
+	res, err := Mine(weatherRows(), Options{MinSupport: 0.2, MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, ok := res.FindRule([]string{"weight"}, []string{"mode"})
+	if !ok {
+		t.Fatalf("weight→mode rule not found among %d rules", len(res.Rules))
+	}
+	if rule.Confidence != 1.0 {
+		t.Errorf("confidence = %v, want 1.0 (light→LTL is deterministic)", rule.Confidence)
+	}
+	if rule.Count != 8 {
+		t.Errorf("count = %d, want 8", rule.Count)
+	}
+	if rule.Lift <= 1.0 {
+		t.Errorf("lift = %v, want > 1", rule.Lift)
+	}
+}
+
+func TestMineSupportCounts(t *testing.T) {
+	res, err := Mine(weatherRows(), Options{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only weight=light (8/15) and mode=LTL (9/15) have support >= 0.5
+	// among singletons... dist=short has 9/15 too.
+	if len(res.Frequent[0]) != 3 {
+		t.Errorf("frequent singletons = %d, want 3", len(res.Frequent[0]))
+	}
+}
+
+func TestMineLevelGrowthAndOneValuePerAttr(t *testing.T) {
+	res, err := Mine(weatherRows(), Options{MinSupport: 0.3, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range res.Itemsets {
+		attrs := map[string]bool{}
+		for _, it := range set {
+			if attrs[it.Attr] {
+				t.Fatalf("itemset with duplicate attribute: %v", set)
+			}
+			attrs[it.Attr] = true
+		}
+	}
+	// The triple (light, LTL, short) has support 8/15 > 0.3.
+	found := false
+	for _, set := range res.Itemsets {
+		if len(set) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("3-itemset missing")
+	}
+}
+
+func TestMineConfidenceFilter(t *testing.T) {
+	strict, err := Mine(weatherRows(), Options{MinSupport: 0.2, MinConfidence: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Mine(weatherRows(), Options{MinSupport: 0.2, MinConfidence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Rules) >= len(loose.Rules) {
+		t.Errorf("confidence filter not effective: %d vs %d", len(strict.Rules), len(loose.Rules))
+	}
+	for _, r := range strict.Rules {
+		if r.Confidence < 0.99 {
+			t.Errorf("rule below floor: %s", r)
+		}
+	}
+}
+
+func TestMineRulesSorted(t *testing.T) {
+	res, err := Mine(weatherRows(), Options{MinSupport: 0.2, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rules); i++ {
+		if res.Rules[i].Confidence > res.Rules[i-1].Confidence {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	if _, err := Mine(nil, Options{MinSupport: 0}); err == nil {
+		t.Error("MinSupport 0 should error")
+	}
+	if _, err := Mine(nil, Options{MinSupport: 1.5}); err == nil {
+		t.Error("MinSupport > 1 should error")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: row("GROSS_WEIGHT", "[0, 6500)"),
+		Consequent: row("TRANS_MODE", "LTL"),
+		Support:    0.4, Confidence: 0.95, Lift: 1.5,
+	}
+	s := r.String()
+	if !strings.Contains(s, "GROSS_WEIGHT(X, [0, 6500))") || !strings.Contains(s, "→") {
+		t.Errorf("rule rendering: %s", s)
+	}
+}
+
+func TestEmptyRows(t *testing.T) {
+	res, err := Mine([]Itemset{}, Options{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) != 0 || len(res.Itemsets) != 0 {
+		t.Error("empty input should produce nothing")
+	}
+}

@@ -1,0 +1,317 @@
+// Package emcluster implements expectation–maximisation clustering
+// with diagonal-covariance Gaussian mixtures — the stand-in for
+// Weka's EM used in Section 7.3 of the paper (Figures 5 and 6).
+package emcluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Options configures a clustering run.
+type Options struct {
+	// K is the number of clusters (the paper's run settled on 9).
+	K int
+	// MaxIter caps EM iterations (default 100).
+	MaxIter int
+	// Tol stops when log-likelihood improves by less (default 1e-6
+	// relative).
+	Tol float64
+	// Seed drives the k-means++-style initialisation.
+	Seed int64
+	// MinStdDev floors per-dimension standard deviations to keep the
+	// model proper on near-constant attributes (Weka uses 1e-6).
+	MinStdDev float64
+}
+
+// DefaultOptions mirrors the paper's run with k=9.
+func DefaultOptions() Options {
+	return Options{K: 9, MaxIter: 100, Tol: 1e-6, Seed: 1, MinStdDev: 1e-6}
+}
+
+// Model is a fitted Gaussian mixture.
+type Model struct {
+	Attrs   []string
+	K       int
+	Weights []float64   // mixing proportions
+	Means   [][]float64 // [k][dim]
+	StdDevs [][]float64 // [k][dim]
+	// LogLikelihood is the final per-row average log-likelihood.
+	LogLikelihood float64
+	Iterations    int
+}
+
+// Assignment is the clustering of the training data.
+type Assignment struct {
+	Cluster []int // per-row hard assignment (max responsibility)
+	Sizes   []int // rows per cluster
+}
+
+// Fit runs EM over rows (each a vector aligned with attrs).
+func Fit(attrs []string, rows [][]float64, opts Options) (*Model, *Assignment, error) {
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("emcluster: no rows")
+	}
+	dim := len(attrs)
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, nil, fmt.Errorf("emcluster: row %d has %d values, want %d", i, len(r), dim)
+		}
+	}
+	if opts.K < 1 || opts.K > len(rows) {
+		return nil, nil, fmt.Errorf("emcluster: K=%d invalid for %d rows", opts.K, len(rows))
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.MinStdDev <= 0 {
+		opts.MinStdDev = 1e-6
+	}
+
+	m := &Model{Attrs: attrs, K: opts.K}
+	m.initialize(rows, opts)
+
+	resp := make([][]float64, len(rows))
+	for i := range resp {
+		resp[i] = make([]float64, opts.K)
+	}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		ll := m.eStep(rows, resp)
+		m.mStep(rows, resp, opts.MinStdDev)
+		m.LogLikelihood = ll / float64(len(rows))
+		m.Iterations = iter + 1
+		if iter > 0 && math.Abs(ll-prevLL) <= opts.Tol*math.Abs(prevLL) {
+			break
+		}
+		prevLL = ll
+	}
+
+	asg := &Assignment{Cluster: make([]int, len(rows)), Sizes: make([]int, opts.K)}
+	for i := range rows {
+		best, bestP := 0, resp[i][0]
+		for k := 1; k < opts.K; k++ {
+			if resp[i][k] > bestP {
+				best, bestP = k, resp[i][k]
+			}
+		}
+		asg.Cluster[i] = best
+		asg.Sizes[best]++
+	}
+	return m, asg, nil
+}
+
+// initialize seeds means deterministically: the first centre is the
+// row nearest the global mean, and each further centre is the row
+// farthest (in variance-normalised distance) from all existing
+// centres. Farthest-point seeding guarantees extreme outliers — like
+// the paper's three air-freight shipments — receive their own
+// component, which sampling-based seeding only finds by luck.
+func (m *Model) initialize(rows [][]float64, opts Options) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dim := len(m.Attrs)
+	globalMean := make([]float64, dim)
+	globalVar := make([]float64, dim)
+	for _, r := range rows {
+		for d, v := range r {
+			globalMean[d] += v
+		}
+	}
+	for d := range globalMean {
+		globalMean[d] /= float64(len(rows))
+	}
+	for _, r := range rows {
+		for d, v := range r {
+			diff := v - globalMean[d]
+			globalVar[d] += diff * diff
+		}
+	}
+	for d := range globalVar {
+		globalVar[d] /= float64(len(rows))
+		if globalVar[d] < opts.MinStdDev*opts.MinStdDev {
+			globalVar[d] = opts.MinStdDev * opts.MinStdDev
+		}
+	}
+
+	m.Means = make([][]float64, m.K)
+	m.StdDevs = make([][]float64, m.K)
+	m.Weights = make([]float64, m.K)
+
+	// First centre: the row nearest the global mean.
+	first := 0
+	bestD := math.Inf(1)
+	for i, r := range rows {
+		if d := normSqDist(r, globalMean, globalVar); d < bestD {
+			first, bestD = i, d
+		}
+	}
+	m.Means[0] = append([]float64(nil), rows[first]...)
+
+	// Remaining centres: farthest-point traversal.
+	minDist := make([]float64, len(rows))
+	for i, r := range rows {
+		minDist[i] = normSqDist(r, m.Means[0], globalVar)
+	}
+	for k := 1; k < m.K; k++ {
+		idx := 0
+		far := -1.0
+		for i, d := range minDist {
+			if d > far {
+				idx, far = i, d
+			}
+		}
+		if far <= 0 {
+			idx = rng.Intn(len(rows)) // duplicate rows: any seed works
+		}
+		m.Means[k] = append([]float64(nil), rows[idx]...)
+		for i, r := range rows {
+			if d := normSqDist(r, m.Means[k], globalVar); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	for k := 0; k < m.K; k++ {
+		m.Weights[k] = 1 / float64(m.K)
+		sd := make([]float64, dim)
+		for d := range sd {
+			sd[d] = math.Sqrt(globalVar[d])
+		}
+		m.StdDevs[k] = sd
+	}
+}
+
+func normSqDist(a, b, variance []float64) float64 {
+	s := 0.0
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff / variance[d]
+	}
+	return s
+}
+
+// eStep fills responsibilities and returns the total log-likelihood.
+func (m *Model) eStep(rows [][]float64, resp [][]float64) float64 {
+	ll := 0.0
+	logW := make([]float64, m.K)
+	for k, w := range m.Weights {
+		logW[k] = math.Log(math.Max(w, 1e-300))
+	}
+	for i, r := range rows {
+		maxLog := math.Inf(-1)
+		for k := 0; k < m.K; k++ {
+			lp := logW[k] + m.logGauss(r, k)
+			resp[i][k] = lp
+			if lp > maxLog {
+				maxLog = lp
+			}
+		}
+		// Log-sum-exp normalisation.
+		sum := 0.0
+		for k := 0; k < m.K; k++ {
+			resp[i][k] = math.Exp(resp[i][k] - maxLog)
+			sum += resp[i][k]
+		}
+		for k := 0; k < m.K; k++ {
+			resp[i][k] /= sum
+		}
+		ll += maxLog + math.Log(sum)
+	}
+	return ll
+}
+
+func (m *Model) logGauss(r []float64, k int) float64 {
+	lp := 0.0
+	for d, v := range r {
+		sd := m.StdDevs[k][d]
+		diff := (v - m.Means[k][d]) / sd
+		lp += -0.5*diff*diff - math.Log(sd) - 0.5*math.Log(2*math.Pi)
+	}
+	return lp
+}
+
+// mStep re-estimates weights, means and standard deviations.
+func (m *Model) mStep(rows [][]float64, resp [][]float64, minSD float64) {
+	dim := len(m.Attrs)
+	for k := 0; k < m.K; k++ {
+		nk := 0.0
+		mean := make([]float64, dim)
+		for i, r := range rows {
+			w := resp[i][k]
+			nk += w
+			for d, v := range r {
+				mean[d] += w * v
+			}
+		}
+		if nk < 1e-10 {
+			// Dead cluster: keep its parameters, zero weight.
+			m.Weights[k] = 0
+			continue
+		}
+		for d := range mean {
+			mean[d] /= nk
+		}
+		sd := make([]float64, dim)
+		for i, r := range rows {
+			w := resp[i][k]
+			for d, v := range r {
+				diff := v - mean[d]
+				sd[d] += w * diff * diff
+			}
+		}
+		for d := range sd {
+			sd[d] = math.Sqrt(sd[d] / nk)
+			if sd[d] < minSD {
+				sd[d] = minSD
+			}
+		}
+		m.Weights[k] = nk / float64(len(rows))
+		m.Means[k] = mean
+		m.StdDevs[k] = sd
+	}
+}
+
+// ClusterMeans returns per-cluster means of one attribute, the series
+// plotted in Figure 6 ("Cluster Comparison").
+func (m *Model) ClusterMeans(attr string) ([]float64, error) {
+	d := -1
+	for i, a := range m.Attrs {
+		if a == attr {
+			d = i
+			break
+		}
+	}
+	if d == -1 {
+		return nil, fmt.Errorf("emcluster: attribute %q not in model", attr)
+	}
+	out := make([]float64, m.K)
+	for k := 0; k < m.K; k++ {
+		out[k] = m.Means[k][d]
+	}
+	return out, nil
+}
+
+// Summary renders cluster sizes and means, the Figure 5-style table.
+func Summary(m *Model, a *Assignment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EM clustering: k=%d, iterations=%d, avg log-likelihood=%.4f\n",
+		m.K, m.Iterations, m.LogLikelihood)
+	order := make([]int, m.K)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Ints(order)
+	for _, k := range order {
+		fmt.Fprintf(&b, "cluster %d: n=%d", k, a.Sizes[k])
+		for d, attr := range m.Attrs {
+			fmt.Fprintf(&b, "  %s=%.1f", attr, m.Means[k][d])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package emcluster
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// blobs generates k well-separated Gaussian blobs in 2D.
+func blobs(k, perCluster int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var rows [][]float64
+	var truth []int
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c*100), float64(c*50)
+		for i := 0; i < perCluster; i++ {
+			rows = append(rows, []float64{cx + rng.NormFloat64()*2, cy + rng.NormFloat64()*2})
+			truth = append(truth, c)
+		}
+	}
+	return rows, truth
+}
+
+func TestFitSeparatesBlobs(t *testing.T) {
+	rows, truth := blobs(3, 60, 1)
+	model, asg, err := Fit([]string{"x", "y"}, rows, Options{K: 3, MaxIter: 80, Tol: 1e-8, Seed: 2, MinStdDev: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clusters must align with ground truth up to permutation: check
+	// purity.
+	counts := make(map[[2]int]int)
+	for i, c := range asg.Cluster {
+		counts[[2]int{truth[i], c}]++
+	}
+	pure := 0
+	for tc := 0; tc < 3; tc++ {
+		best := 0
+		for mc := 0; mc < 3; mc++ {
+			if counts[[2]int{tc, mc}] > best {
+				best = counts[[2]int{tc, mc}]
+			}
+		}
+		pure += best
+	}
+	if purity := float64(pure) / float64(len(rows)); purity < 0.95 {
+		t.Errorf("purity = %.3f, want >= 0.95", purity)
+	}
+	if model.Iterations < 2 {
+		t.Errorf("iterations = %d", model.Iterations)
+	}
+}
+
+func TestFitIsolatesTinyOutlierCluster(t *testing.T) {
+	// The Figure 5 scenario: a large population plus 3 extreme
+	// outliers; EM with enough components isolates the outliers.
+	rng := rand.New(rand.NewSource(3))
+	var rows [][]float64
+	for i := 0; i < 400; i++ {
+		rows = append(rows, []float64{200 + rng.NormFloat64()*80, 30 + rng.NormFloat64()*10})
+	}
+	for i := 0; i < 3; i++ {
+		rows = append(rows, []float64{3100 + rng.NormFloat64()*20, 15 + rng.NormFloat64()})
+	}
+	model, asg, err := Fit([]string{"dist", "hours"}, rows, Options{K: 4, MaxIter: 100, Tol: 1e-8, Seed: 5, MinStdDev: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for k := 0; k < model.K; k++ {
+		if asg.Sizes[k] > 0 && asg.Sizes[k] <= 6 && model.Means[k][0] > 2500 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("outlier cluster not isolated: sizes=%v", asg.Sizes)
+	}
+}
+
+func TestClusterMeans(t *testing.T) {
+	rows, _ := blobs(2, 30, 7)
+	model, _, err := Fit([]string{"x", "y"}, rows, Options{K: 2, MaxIter: 50, Tol: 1e-8, Seed: 1, MinStdDev: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := model.ClusterMeans("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 2 {
+		t.Fatalf("means = %v", xs)
+	}
+	lo, hi := math.Min(xs[0], xs[1]), math.Max(xs[0], xs[1])
+	if lo > 20 || hi < 80 {
+		t.Errorf("cluster x means = %v, want ~0 and ~100", xs)
+	}
+	if _, err := model.ClusterMeans("zzz"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, _, err := Fit([]string{"x"}, nil, DefaultOptions()); err == nil {
+		t.Error("no rows should error")
+	}
+	if _, _, err := Fit([]string{"x"}, [][]float64{{1, 2}}, Options{K: 1}); err == nil {
+		t.Error("dim mismatch should error")
+	}
+	if _, _, err := Fit([]string{"x"}, [][]float64{{1}}, Options{K: 5}); err == nil {
+		t.Error("K > rows should error")
+	}
+}
+
+func TestFitDeterministicWithSeed(t *testing.T) {
+	rows, _ := blobs(3, 40, 9)
+	opts := Options{K: 3, MaxIter: 50, Tol: 1e-8, Seed: 42, MinStdDev: 1e-6}
+	m1, a1, err := Fit([]string{"x", "y"}, rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, a2, err := Fit([]string{"x", "y"}, rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.LogLikelihood != m2.LogLikelihood {
+		t.Error("log-likelihood differs across identical runs")
+	}
+	for i := range a1.Cluster {
+		if a1.Cluster[i] != a2.Cluster[i] {
+			t.Fatal("assignments differ across identical runs")
+		}
+	}
+}
+
+func TestFitConstantAttribute(t *testing.T) {
+	// A constant column must not produce NaNs (MinStdDev floor).
+	rows := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}, {100, 5}, {101, 5}}
+	model, _, err := Fit([]string{"x", "c"}, rows, Options{K: 2, MaxIter: 30, Tol: 1e-8, Seed: 1, MinStdDev: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(model.LogLikelihood) || math.IsInf(model.LogLikelihood, 0) {
+		t.Errorf("log-likelihood = %v", model.LogLikelihood)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rows, _ := blobs(2, 20, 11)
+	model, asg, err := Fit([]string{"x", "y"}, rows, Options{K: 2, MaxIter: 30, Tol: 1e-8, Seed: 1, MinStdDev: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Summary(model, asg)
+	if !strings.Contains(out, "cluster 0:") || !strings.Contains(out, "k=2") {
+		t.Errorf("summary:\n%s", out)
+	}
+}

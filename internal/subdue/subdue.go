@@ -1,0 +1,647 @@
+// Package subdue reimplements the SUBDUE substructure discovery
+// system (Holder, Cook & Djoko 1994) used in Section 5.1 of the
+// paper: a beam search over substructures of a single labeled graph,
+// evaluated by how well replacing their instances compresses the
+// graph, under either the Minimum Description Length principle or the
+// Size principle. Instances are counted without overlap (vertex- and
+// edge-disjoint), exactly as the paper ran the original system.
+package subdue
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+)
+
+// Principle selects the substructure evaluation heuristic.
+type Principle int
+
+const (
+	// MDL evaluates a substructure by description-length compression:
+	// DL(G) / (DL(S) + DL(G|S)). With uniformly labeled vertices it
+	// favours small, very frequent substructures — the paper found it
+	// "tends to give trivial results" on transportation data.
+	MDL Principle = iota
+	// Size evaluates by raw size compression: size(G) / (size(S) +
+	// size(G|S)) with size = |V| + |E|. The paper found it surfaces
+	// larger, more interesting patterns, at much higher cost.
+	Size
+)
+
+// String names the principle.
+func (p Principle) String() string {
+	if p == MDL {
+		return "MDL"
+	}
+	return "Size"
+}
+
+// Options configures a discovery run.
+type Options struct {
+	Principle Principle
+	// BeamWidth bounds the substructures kept per search level
+	// (paper: beam 4 and 5).
+	BeamWidth int
+	// MaxBest is the number of best substructures to report
+	// (paper: best 3, 5, 15).
+	MaxBest int
+	// MaxVertices caps substructure size in vertices (paper: "up to
+	// size 6"); 0 = unlimited.
+	MaxVertices int
+	// Limit caps the number of substructures expanded (SUBDUE's
+	// -limit); 0 derives the classic default |E|/2.
+	Limit int
+	// MaxInstances caps instances tracked per substructure (both for
+	// counting and extension generation); 0 = unlimited.
+	MaxInstances int
+	// MaxSteps bounds each isomorphism search (0 = unlimited).
+	MaxSteps int
+	// MinInstances filters reported substructures (default 2: a
+	// pattern occurring once compresses nothing).
+	MinInstances int
+}
+
+// DefaultOptions mirrors the paper's MDL run: beam 4, best 3.
+func DefaultOptions() Options {
+	return Options{
+		Principle:    MDL,
+		BeamWidth:    4,
+		MaxBest:      3,
+		MaxInstances: 500,
+		MaxSteps:     200000,
+		MinInstances: 2,
+	}
+}
+
+// Substructure is a discovered pattern with its evaluation.
+type Substructure struct {
+	Graph *graph.Graph
+	Code  string
+	// Instances is the non-overlapping (vertex- and edge-disjoint)
+	// instance count, the support notion the paper's SUBDUE runs
+	// used ("without allowing overlap").
+	Instances int
+	// Value is the evaluation score; higher is better.
+	Value float64
+	// instances holds all discovered (possibly overlapping)
+	// embeddings, which seed the next extension round — the classic
+	// SUBDUE instance-growth design that avoids global isomorphism
+	// searches.
+	instances []iso.Embedding
+}
+
+// String renders a one-line summary.
+func (s Substructure) String() string {
+	return fmt.Sprintf("sub{V=%d E=%d instances=%d value=%.4f}",
+		s.Graph.NumVertices(), s.Graph.NumEdges(), s.Instances, s.Value)
+}
+
+// Result is the outcome of one discovery pass.
+type Result struct {
+	Best       []Substructure // descending by value
+	Considered int            // substructures expanded
+	Generated  int            // candidate substructures evaluated
+}
+
+// Discover runs one SUBDUE pass over g.
+func Discover(g *graph.Graph, opts Options) *Result {
+	d := newDiscoverer(g, opts)
+	return d.run()
+}
+
+type discoverer struct {
+	g    *graph.Graph
+	opts Options
+	eval evaluator
+
+	seen map[string][]*graph.Graph
+	res  *Result
+}
+
+func newDiscoverer(g *graph.Graph, opts Options) *discoverer {
+	if opts.BeamWidth < 1 {
+		opts.BeamWidth = 4
+	}
+	if opts.MaxBest < 1 {
+		opts.MaxBest = 3
+	}
+	if opts.Limit <= 0 {
+		opts.Limit = g.NumEdges()/2 + 1
+	}
+	if opts.MinInstances <= 0 {
+		opts.MinInstances = 2
+	}
+	return &discoverer{
+		g:    g,
+		opts: opts,
+		eval: newEvaluator(g, opts.Principle),
+		seen: make(map[string][]*graph.Graph),
+		res:  &Result{},
+	}
+}
+
+// alreadySeen reports whether an isomorphic pattern was evaluated
+// before, and records pg if not. Dedup is two-stage: a cheap
+// isomorphism-invariant fingerprint groups candidates, and exact
+// isomorphism confirms within the group (fingerprints may collide).
+func (d *discoverer) alreadySeen(fp string, pg *graph.Graph) bool {
+	for _, prev := range d.seen[fp] {
+		if iso.Isomorphic(prev, pg) {
+			return true
+		}
+	}
+	d.seen[fp] = append(d.seen[fp], pg)
+	return false
+}
+
+func (d *discoverer) run() *Result {
+	parents := d.initialSubstructures()
+	var best []Substructure
+	for d.res.Considered < d.opts.Limit && len(parents) > 0 {
+		var children []Substructure
+		for i := range parents {
+			if d.res.Considered >= d.opts.Limit {
+				break
+			}
+			d.res.Considered++
+			for _, ext := range d.extend(&parents[i]) {
+				d.res.Generated++
+				children = append(children, ext)
+				if ext.Instances >= d.opts.MinInstances && ext.Graph.NumEdges() > 0 {
+					best = insertCapped(best, ext, d.opts.MaxBest)
+				}
+			}
+		}
+		sortByValue(children)
+		if len(children) > d.opts.BeamWidth {
+			children = children[:d.opts.BeamWidth]
+		}
+		parents = children
+	}
+	d.res.Best = best
+	return d.res
+}
+
+// initialSubstructures builds one single-vertex substructure per
+// distinct vertex label, with every matching vertex as an instance.
+func (d *discoverer) initialSubstructures() []Substructure {
+	var subs []Substructure
+	for _, label := range d.g.VertexLabels() {
+		pg := graph.New("sub")
+		pv := pg.AddVertex(label)
+		var embs []iso.Embedding
+		for _, v := range d.g.Vertices() {
+			if d.g.Vertex(v).Label != label {
+				continue
+			}
+			embs = append(embs, iso.Embedding{
+				Vertices: map[graph.VertexID]graph.VertexID{pv: v},
+				Edges:    map[graph.EdgeID]graph.EdgeID{},
+			})
+			if d.opts.MaxInstances > 0 && len(embs) >= d.opts.MaxInstances {
+				break
+			}
+		}
+		if len(embs) == 0 {
+			continue
+		}
+		subs = append(subs, d.score(pg, embs))
+	}
+	sortByValue(subs)
+	if len(subs) > d.opts.BeamWidth {
+		subs = subs[:d.opts.BeamWidth]
+	}
+	return subs
+}
+
+// score computes the non-overlapping instance count and evaluation
+// value of a pattern given its discovered embeddings.
+func (d *discoverer) score(pg *graph.Graph, embs []iso.Embedding) Substructure {
+	disjoint := iso.GreedyNonOverlap(embs)
+	return Substructure{
+		Graph:     pg,
+		Code:      iso.Fingerprint(pg),
+		Instances: len(disjoint),
+		Value:     d.eval.value(pg, len(disjoint)),
+		instances: embs,
+	}
+}
+
+// extCandidate accumulates the instances of one extension pattern.
+type extCandidate struct {
+	pattern *graph.Graph
+	embs    []iso.Embedding
+	seen    map[string]bool // instance dedup by target vertex+edge sets
+}
+
+// descKey identifies an extension construction independent of the
+// target edge that induced it: extending the parent pattern at the
+// given pattern vertices with an edge of the given label (and, for
+// new-vertex extensions, a new endpoint with the given vertex label)
+// always produces the identical extension graph, so its fingerprint
+// and candidate grouping can be computed once and cached.
+type descKey struct {
+	kind   byte // 'b' both-in, 'o' out to new vertex, 'i' in from new vertex
+	a, b   graph.VertexID
+	elabel string
+	vlabel string
+}
+
+// descInfo caches one extension construction.
+type descInfo struct {
+	cand *extCandidate
+	// pattern is the graph built for this construction; its vertex
+	// and edge IDs are deterministic, so embeddings can be built
+	// without re-cloning.
+	pattern *graph.Graph
+	pe      graph.EdgeID   // the added pattern edge
+	nv      graph.VertexID // the added pattern vertex ('o'/'i' kinds)
+	// needsReanchor is true when cand.pattern is a different
+	// (isomorphic) construction, so embeddings must be re-anchored.
+	needsReanchor bool
+}
+
+// extend generates all one-edge extensions of sub that occur in the
+// graph, growing each parent instance by one incident edge — the
+// classic SUBDUE instance-driven extension, which never performs a
+// global isomorphism search. Extension patterns are grouped by cheap
+// fingerprint and verified with exact isomorphism within a group.
+func (d *discoverer) extend(sub *Substructure) []Substructure {
+	candidates := make(map[string][]*extCandidate)
+	var order []string // fingerprints in first-seen order, for determinism
+	descs := make(map[descKey]*descInfo)
+
+	// resolveDesc builds the extension pattern for a construction the
+	// first time it appears and groups it with isomorphic candidates.
+	resolveDesc := func(key descKey) *descInfo {
+		if info, ok := descs[key]; ok {
+			return info
+		}
+		ext := sub.Graph.Clone()
+		info := &descInfo{pattern: ext, nv: -1}
+		switch key.kind {
+		case 'b':
+			info.pe = ext.AddEdge(key.a, key.b, key.elabel)
+		case 'o':
+			info.nv = ext.AddVertex(key.vlabel)
+			info.pe = ext.AddEdge(key.a, info.nv, key.elabel)
+		case 'i':
+			info.nv = ext.AddVertex(key.vlabel)
+			info.pe = ext.AddEdge(info.nv, key.a, key.elabel)
+		}
+		fp := iso.Fingerprint(ext)
+		group, ok := candidates[fp]
+		if !ok {
+			order = append(order, fp)
+		}
+		for _, c := range group {
+			if iso.Isomorphic(c.pattern, ext) {
+				info.cand = c
+				info.needsReanchor = true
+				break
+			}
+		}
+		if info.cand == nil {
+			info.cand = &extCandidate{pattern: ext, seen: make(map[string]bool)}
+			candidates[fp] = append(group, info.cand)
+		}
+		descs[key] = info
+
+		return info
+	}
+
+	for _, emb := range sub.instances {
+		// Reverse map: target vertex -> pattern vertex.
+		rev := make(map[graph.VertexID]graph.VertexID, len(emb.Vertices))
+		for pv, tv := range emb.Vertices {
+			rev[tv] = pv
+		}
+		usedEdges := make(map[graph.EdgeID]bool, len(emb.Edges))
+		for _, te := range emb.Edges {
+			usedEdges[te] = true
+		}
+		atVertexCap := d.opts.MaxVertices > 0 && sub.Graph.NumVertices() >= d.opts.MaxVertices
+		for _, tv := range emb.Vertices {
+			for _, te := range append(d.g.OutEdges(tv), d.g.InEdges(tv)...) {
+				if usedEdges[te] {
+					continue
+				}
+				ed := d.g.Edge(te)
+				pFrom, fromIn := rev[ed.From]
+				pTo, toIn := rev[ed.To]
+				if ed.From == ed.To && !(fromIn && toIn) {
+					continue // self-loops attach only via both-in
+				}
+				var key descKey
+				var newTarget graph.VertexID // target vertex mapped by the new pattern vertex
+				switch {
+				case fromIn && toIn:
+					key = descKey{kind: 'b', a: pFrom, b: pTo, elabel: ed.Label}
+				case fromIn:
+					if atVertexCap {
+						continue
+					}
+					key = descKey{kind: 'o', a: pFrom, elabel: ed.Label, vlabel: d.g.Vertex(ed.To).Label}
+					newTarget = ed.To
+				case toIn:
+					if atVertexCap {
+						continue
+					}
+					key = descKey{kind: 'i', a: pTo, elabel: ed.Label, vlabel: d.g.Vertex(ed.From).Label}
+					newTarget = ed.From
+				default:
+					continue
+				}
+				info := resolveDesc(key)
+				cand := info.cand
+				if d.opts.MaxInstances > 0 && len(cand.embs) >= d.opts.MaxInstances {
+					continue
+				}
+				newEmb := cloneEmbedding(emb)
+				if info.nv >= 0 {
+					newEmb.Vertices[info.nv] = newTarget
+				}
+				newEmb.Edges[info.pe] = te
+				ikey := instanceKey(newEmb)
+				if cand.seen[ikey] {
+					continue
+				}
+				cand.seen[ikey] = true
+				if info.needsReanchor {
+					// The same instance subgraph reached through a
+					// different construction: re-anchor the embedding
+					// onto the candidate's pattern graph.
+					re, ok := reanchor(cand.pattern, d.g, newEmb, d.opts.MaxSteps)
+					if !ok {
+						continue
+					}
+					newEmb = re
+				}
+				cand.embs = append(cand.embs, newEmb)
+			}
+		}
+	}
+
+	var out []Substructure
+	for _, fp := range order {
+		for _, cand := range candidates[fp] {
+			if d.alreadySeen(fp, cand.pattern) {
+				continue
+			}
+			out = append(out, d.score(cand.pattern, cand.embs))
+		}
+	}
+	return out
+}
+
+func cloneEmbedding(e iso.Embedding) iso.Embedding {
+	c := iso.Embedding{
+		Vertices: make(map[graph.VertexID]graph.VertexID, len(e.Vertices)+1),
+		Edges:    make(map[graph.EdgeID]graph.EdgeID, len(e.Edges)+1),
+	}
+	for k, v := range e.Vertices {
+		c.Vertices[k] = v
+	}
+	for k, v := range e.Edges {
+		c.Edges[k] = v
+	}
+	return c
+}
+
+// instanceKey identifies an instance by its target vertex and edge
+// sets, independent of the pattern-side numbering.
+func instanceKey(e iso.Embedding) string {
+	vs := make([]int, 0, len(e.Vertices))
+	for _, tv := range e.Vertices {
+		vs = append(vs, int(tv))
+	}
+	es := make([]int, 0, len(e.Edges))
+	for _, te := range e.Edges {
+		es = append(es, int(te))
+	}
+	sort.Ints(vs)
+	sort.Ints(es)
+	buf := make([]byte, 0, 8*(len(vs)+len(es))+2)
+	for _, v := range vs {
+		buf = strconv.AppendInt(buf, int64(v), 36)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '|')
+	for _, e := range es {
+		buf = strconv.AppendInt(buf, int64(e), 36)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// reanchor maps pattern onto the concrete target subgraph covered by
+// emb, producing an embedding keyed to pattern's own vertex/edge IDs.
+func reanchor(pattern *graph.Graph, target *graph.Graph, emb iso.Embedding, maxSteps int) (iso.Embedding, bool) {
+	vset := make(map[graph.VertexID]bool, len(emb.Vertices))
+	for _, tv := range emb.Vertices {
+		vset[tv] = true
+	}
+	eset := make(map[graph.EdgeID]bool, len(emb.Edges))
+	for _, te := range emb.Edges {
+		eset[te] = true
+	}
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	return iso.EmbedInSubgraph(pattern, target, vset, eset, maxSteps)
+}
+
+func sortByValue(subs []Substructure) {
+	sort.SliceStable(subs, func(i, j int) bool {
+		if subs[i].Value != subs[j].Value {
+			return subs[i].Value > subs[j].Value
+		}
+		// Tie-break toward more instances, then larger patterns.
+		if subs[i].Instances != subs[j].Instances {
+			return subs[i].Instances > subs[j].Instances
+		}
+		return subs[i].Graph.NumEdges() > subs[j].Graph.NumEdges()
+	})
+}
+
+func insertCapped(best []Substructure, s Substructure, cap int) []Substructure {
+	best = append(best, s)
+	sortByValue(best)
+	if len(best) > cap {
+		best = best[:cap]
+	}
+	return best
+}
+
+// evaluator scores substructures under a principle.
+type evaluator struct {
+	principle Principle
+	numV      int
+	numE      int
+	vLabels   int
+	eLabels   int
+	dlG       float64
+	sizeG     float64
+}
+
+func newEvaluator(g *graph.Graph, p Principle) evaluator {
+	ev := evaluator{
+		principle: p,
+		numV:      g.NumVertices(),
+		numE:      g.NumEdges(),
+		vLabels:   len(g.VertexLabels()),
+		eLabels:   len(g.EdgeLabels()),
+	}
+	ev.dlG = ev.dl(ev.numV, ev.numE, 0)
+	ev.sizeG = float64(ev.numV + ev.numE)
+	return ev
+}
+
+// dl is the description length (bits) of a graph with v vertices and
+// e edges over the global label alphabets; instances supervertices
+// add extraInst pointer costs.
+func (ev evaluator) dl(v, e, extraInst int) float64 {
+	if v <= 0 {
+		return 0
+	}
+	vBits := float64(v) * log2(float64(ev.vLabels)+1)
+	eBits := float64(e) * (2*log2(float64(v)) + log2(float64(ev.eLabels)+1))
+	instBits := float64(extraInst) * log2(float64(v)+1)
+	return vBits + eBits + instBits
+}
+
+func log2(x float64) float64 {
+	if x <= 1 {
+		return 1 // at least one bit per element keeps DL monotone
+	}
+	return math.Log2(x)
+}
+
+// value computes the compression score of a substructure with the
+// given non-overlapping instance count.
+func (ev evaluator) value(sub *graph.Graph, instances int) float64 {
+	vs, es := sub.NumVertices(), sub.NumEdges()
+	if instances == 0 {
+		return 0
+	}
+	// Compressed graph: each instance collapses to one supervertex.
+	cv := ev.numV - instances*(vs-1)
+	ce := ev.numE - instances*es
+	if cv < 1 {
+		cv = 1
+	}
+	if ce < 0 {
+		ce = 0
+	}
+	switch ev.principle {
+	case MDL:
+		den := ev.dl(vs, es, 0) + ev.dl(cv, ce, instances)
+		if den <= 0 {
+			return 0
+		}
+		return ev.dlG / den
+	default: // Size
+		den := float64(vs+es) + float64(cv+ce)
+		if den <= 0 {
+			return 0
+		}
+		return ev.sizeG / den
+	}
+}
+
+// Compress replaces every non-overlapping instance of sub in g with a
+// single supervertex carrying the given label; edges between an
+// instance and the rest of the graph re-attach to the supervertex.
+// It returns the compact compressed graph and the instance count.
+// This is the step SUBDUE repeats to build a hierarchical description
+// of the graph's regularities.
+func Compress(g *graph.Graph, sub *graph.Graph, label string, maxInstances, maxSteps int) (*graph.Graph, int) {
+	insts := iso.FindNonOverlapping(sub, g, maxInstances, maxSteps)
+	if len(insts) == 0 {
+		c, _ := g.Compact()
+		return c, 0
+	}
+	// Map each covered target vertex to its instance index.
+	owner := make(map[graph.VertexID]int)
+	coveredEdge := make(map[graph.EdgeID]bool)
+	for i, emb := range insts {
+		for _, tv := range emb.Vertices {
+			owner[tv] = i
+		}
+		for _, te := range emb.Edges {
+			coveredEdge[te] = true
+		}
+	}
+	out := graph.New(g.Name + "+compressed")
+	remap := make(map[graph.VertexID]graph.VertexID)
+	super := make([]graph.VertexID, len(insts))
+	for i := range insts {
+		super[i] = out.AddVertex(label)
+	}
+	for _, v := range g.Vertices() {
+		if i, ok := owner[v]; ok {
+			remap[v] = super[i]
+			continue
+		}
+		remap[v] = out.AddVertex(g.Vertex(v).Label)
+	}
+	for _, e := range g.Edges() {
+		if coveredEdge[e] {
+			continue
+		}
+		ed := g.Edge(e)
+		from, to := remap[ed.From], remap[ed.To]
+		if from == to {
+			// Edge internal to one instance that the pattern did not
+			// cover (parallel duplicate): drop it, compression keeps
+			// the description minimal.
+			continue
+		}
+		out.AddEdge(from, to, ed.Label)
+	}
+	return out, len(insts)
+}
+
+// HierarchyLevel is one pass of hierarchical discovery.
+type HierarchyLevel struct {
+	Sub        Substructure
+	Instances  int
+	GraphAfter *graph.Graph
+}
+
+// DiscoverHierarchy runs `passes` discovery+compression rounds,
+// labeling pass i's best substructure "SUB_i", the way SUBDUE builds
+// a hierarchical description of structural regularities.
+func DiscoverHierarchy(g *graph.Graph, opts Options, passes int) []HierarchyLevel {
+	var levels []HierarchyLevel
+	cur := g
+	for i := 0; i < passes; i++ {
+		res := Discover(cur, opts)
+		if len(res.Best) == 0 {
+			break
+		}
+		best := res.Best[0]
+		compressed, n := Compress(cur, best.Graph, fmt.Sprintf("SUB_%d", i+1), opts.MaxInstances, opts.MaxSteps)
+		if n < 2 {
+			break
+		}
+		levels = append(levels, HierarchyLevel{Sub: best, Instances: n, GraphAfter: compressed})
+		cur = compressed
+	}
+	return levels
+}
+
+// Render draws a substructure as an indented adjacency list, the
+// textual analogue of the paper's Figures 1–3.
+func Render(s Substructure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "substructure (%d vertices, %d edges, %d instances, value %.4f)\n",
+		s.Graph.NumVertices(), s.Graph.NumEdges(), s.Instances, s.Value)
+	b.WriteString(s.Graph.Dump())
+	return b.String()
+}

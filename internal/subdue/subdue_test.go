@@ -1,0 +1,240 @@
+package subdue
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+)
+
+// planted builds a graph with n copies of a 3-edge "bowtie-ish"
+// motif (a->b, a->c, b->c) plus random noise edges.
+func planted(n, noise int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("planted")
+	for i := 0; i < n; i++ {
+		a := g.AddVertex("*")
+		b := g.AddVertex("*")
+		c := g.AddVertex("*")
+		g.AddEdge(a, b, "w1")
+		g.AddEdge(a, c, "w1")
+		g.AddEdge(b, c, "w2")
+	}
+	vs := g.Vertices()
+	for i := 0; i < noise; i++ {
+		u := vs[rng.Intn(len(vs))]
+		v := vs[rng.Intn(len(vs))]
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, "w9")
+	}
+	return g
+}
+
+func TestDiscoverFindsPlantedMotif(t *testing.T) {
+	g := planted(10, 5, 1)
+	res := Discover(g, Options{
+		Principle:    Size,
+		BeamWidth:    6,
+		MaxBest:      5,
+		MaxInstances: 100,
+		MaxSteps:     100000,
+		MinInstances: 2,
+	})
+	if len(res.Best) == 0 {
+		t.Fatal("no substructures found")
+	}
+	motif := graph.New("motif")
+	a := motif.AddVertex("*")
+	b := motif.AddVertex("*")
+	c := motif.AddVertex("*")
+	motif.AddEdge(a, b, "w1")
+	motif.AddEdge(a, c, "w1")
+	motif.AddEdge(b, c, "w2")
+	found := false
+	for _, s := range res.Best {
+		if iso.Isomorphic(s.Graph, motif) {
+			found = true
+			if s.Instances < 8 {
+				t.Errorf("motif instances = %d, want >= 8", s.Instances)
+			}
+		}
+	}
+	if !found {
+		for _, s := range res.Best {
+			t.Logf("best: %s", s)
+		}
+		t.Fatal("planted motif not among best substructures")
+	}
+}
+
+func TestMDLPrefersFrequentSmallPatterns(t *testing.T) {
+	// The paper's central MDL finding: with uniform vertex labels,
+	// MDL favours very frequent small substructures over larger rare
+	// ones. 40 copies of a 1-edge pattern vs 2 copies of a 5-edge
+	// chain.
+	g := graph.New("g")
+	for i := 0; i < 40; i++ {
+		u := g.AddVertex("*")
+		v := g.AddVertex("*")
+		g.AddEdge(u, v, "common")
+	}
+	for i := 0; i < 2; i++ {
+		prev := g.AddVertex("*")
+		for j := 0; j < 5; j++ {
+			next := g.AddVertex("*")
+			g.AddEdge(prev, next, "rare")
+			prev = next
+		}
+	}
+	res := Discover(g, Options{
+		Principle: MDL, BeamWidth: 4, MaxBest: 3,
+		MaxInstances: 200, MaxSteps: 100000, MinInstances: 2,
+	})
+	if len(res.Best) == 0 {
+		t.Fatal("no substructures found")
+	}
+	top := res.Best[0]
+	if top.Graph.NumEdges() > 2 {
+		t.Errorf("MDL top pattern has %d edges; expected a small frequent pattern", top.Graph.NumEdges())
+	}
+	if top.Instances < 20 {
+		t.Errorf("MDL top pattern instances = %d; expected the frequent one", top.Instances)
+	}
+}
+
+func TestSizePrefersLargerPatterns(t *testing.T) {
+	// Size principle on the same graph should rank the long chain
+	// higher relative to MDL (the paper's qualitative contrast).
+	g := graph.New("g")
+	for i := 0; i < 12; i++ {
+		u := g.AddVertex("*")
+		v := g.AddVertex("*")
+		g.AddEdge(u, v, "common")
+	}
+	for i := 0; i < 3; i++ {
+		prev := g.AddVertex("*")
+		for j := 0; j < 6; j++ {
+			next := g.AddVertex("*")
+			g.AddEdge(prev, next, "rare")
+			prev = next
+		}
+	}
+	res := Discover(g, Options{
+		Principle: Size, BeamWidth: 8, MaxBest: 5,
+		MaxInstances: 200, MaxSteps: 200000, MinInstances: 2,
+	})
+	if len(res.Best) == 0 {
+		t.Fatal("no substructures found")
+	}
+	maxEdges := 0
+	for _, s := range res.Best {
+		if s.Graph.NumEdges() > maxEdges {
+			maxEdges = s.Graph.NumEdges()
+		}
+	}
+	if maxEdges < 3 {
+		t.Errorf("Size principle best patterns max edges = %d, want >= 3", maxEdges)
+	}
+}
+
+func TestCompressReplacesInstances(t *testing.T) {
+	g := planted(5, 0, 2)
+	motif := graph.New("motif")
+	a := motif.AddVertex("*")
+	b := motif.AddVertex("*")
+	c := motif.AddVertex("*")
+	motif.AddEdge(a, b, "w1")
+	motif.AddEdge(a, c, "w1")
+	motif.AddEdge(b, c, "w2")
+	compressed, n := Compress(g, motif, "SUB_1", 0, 0)
+	if n != 5 {
+		t.Fatalf("compressed instances = %d, want 5", n)
+	}
+	if compressed.NumVertices() != 5 {
+		t.Fatalf("compressed vertices = %d, want 5 supervertices", compressed.NumVertices())
+	}
+	if compressed.NumEdges() != 0 {
+		t.Fatalf("compressed edges = %d, want 0", compressed.NumEdges())
+	}
+	for _, v := range compressed.Vertices() {
+		if compressed.Vertex(v).Label != "SUB_1" {
+			t.Fatalf("unexpected label %q", compressed.Vertex(v).Label)
+		}
+	}
+}
+
+func TestCompressKeepsCrossEdges(t *testing.T) {
+	g := graph.New("g")
+	a := g.AddVertex("*")
+	b := g.AddVertex("*")
+	c := g.AddVertex("*")
+	g.AddEdge(a, b, "in") // the instance
+	g.AddEdge(b, c, "out")
+	pat := graph.New("p")
+	pa := pat.AddVertex("*")
+	pb := pat.AddVertex("*")
+	pat.AddEdge(pa, pb, "in")
+	compressed, n := Compress(g, pat, "S", 0, 0)
+	if n != 1 {
+		t.Fatalf("instances = %d, want 1", n)
+	}
+	// Supervertex + c remain, with the "out" edge re-attached.
+	if compressed.NumVertices() != 2 || compressed.NumEdges() != 1 {
+		t.Fatalf("compressed = %s, want 2 vertices / 1 edge", compressed)
+	}
+	e := compressed.Edge(compressed.Edges()[0])
+	if e.Label != "out" {
+		t.Fatalf("surviving edge label = %q, want out", e.Label)
+	}
+	if compressed.Vertex(e.From).Label != "S" {
+		t.Fatalf("edge should leave the supervertex, leaves %q", compressed.Vertex(e.From).Label)
+	}
+}
+
+func TestDiscoverHierarchy(t *testing.T) {
+	g := planted(8, 3, 3)
+	levels := DiscoverHierarchy(g, Options{
+		Principle: MDL, BeamWidth: 4, MaxBest: 3,
+		MaxInstances: 100, MaxSteps: 100000,
+	}, 3)
+	if len(levels) == 0 {
+		t.Fatal("hierarchy has no levels")
+	}
+	prevSize := g.NumVertices() + g.NumEdges()
+	for i, l := range levels {
+		size := l.GraphAfter.NumVertices() + l.GraphAfter.NumEdges()
+		if size >= prevSize {
+			t.Errorf("level %d did not shrink the graph: %d -> %d", i, prevSize, size)
+		}
+		prevSize = size
+	}
+}
+
+func TestRender(t *testing.T) {
+	g := planted(2, 0, 4)
+	res := Discover(g, Options{Principle: MDL, BeamWidth: 4, MaxBest: 1, MaxInstances: 10, MaxSteps: 10000})
+	if len(res.Best) == 0 {
+		t.Fatal("no result")
+	}
+	out := Render(res.Best[0])
+	if !strings.Contains(out, "instances") || !strings.Contains(out, "->") {
+		t.Fatalf("render output unexpected:\n%s", out)
+	}
+}
+
+func TestDiscoverRespectsMaxVertices(t *testing.T) {
+	g := planted(6, 0, 5)
+	res := Discover(g, Options{
+		Principle: Size, BeamWidth: 6, MaxBest: 5, MaxVertices: 2,
+		MaxInstances: 100, MaxSteps: 100000,
+	})
+	for _, s := range res.Best {
+		if s.Graph.NumVertices() > 2 {
+			t.Fatalf("substructure exceeds MaxVertices: %s", s)
+		}
+	}
+}

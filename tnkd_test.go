@@ -1,0 +1,178 @@
+package tnkd
+
+// End-to-end tests of the public facade: every exported pipeline must
+// be reachable and coherent through the tnkd package alone.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func testDataset(t testing.TB) *Dataset {
+	t.Helper()
+	return GenerateDataset(ScaledConfig(0.025))
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	data := testDataset(t)
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != data.Len() {
+		t.Fatalf("round trip: %d != %d", back.Len(), data.Len())
+	}
+}
+
+func TestFacadeStructuralPipeline(t *testing.T) {
+	data := testDataset(t)
+	g := BuildGraph(data, GraphOptions{Attr: TransitHours, Vertices: UniformLabels})
+	if g.NumEdges() != data.Len() {
+		t.Fatalf("graph edges %d != transactions %d", g.NumEdges(), data.Len())
+	}
+	opts := DefaultStructuralOptions()
+	opts.Partitions = 20
+	opts.Support = 6
+	opts.Repetitions = 1
+	opts.MaxEdges = 3
+	res, err := MineStructural(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no structural patterns through the facade")
+	}
+}
+
+func TestFacadeSplitGraphCoversEdges(t *testing.T) {
+	data := testDataset(t)
+	g := BuildGraph(data, GraphOptions{Attr: GrossWeight, Vertices: UniformLabels})
+	parts := SplitGraph(g, SplitOptions{K: 10, Strategy: DepthFirst})
+	total := 0
+	for _, p := range parts {
+		total += p.NumEdges()
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("partitions cover %d of %d edges", total, g.NumEdges())
+	}
+}
+
+func TestFacadeTemporalPipeline(t *testing.T) {
+	data := testDataset(t)
+	opts := DefaultTemporalMineOptions()
+	opts.Partition.MaxVertexLabels = 25
+	opts.MaxEdges = 3
+	res, err := MineTemporal(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partition.Transactions) == 0 {
+		t.Fatal("no temporal transactions through the facade")
+	}
+}
+
+func TestFacadeSubdue(t *testing.T) {
+	data := testDataset(t)
+	g := BuildGraph(data, GraphOptions{Attr: GrossWeight, Vertices: UniformLabels})
+	opts := DefaultSubdueOptions()
+	opts.Limit = 8
+	opts.MaxInstances = 80
+	opts.MaxSteps = 20000
+	res := Subdue(g, opts)
+	if len(res.Best) == 0 {
+		t.Fatal("SUBDUE found nothing through the facade")
+	}
+}
+
+func TestFacadeDynamicExtensions(t *testing.T) {
+	data := testDataset(t)
+	g := BuildDynamicGraph(data, GrossWeight, nil)
+	if len(g.Edges) != data.Len() {
+		t.Fatalf("dynamic edges %d != transactions %d", len(g.Edges), data.Len())
+	}
+	paths := FindRepeatedPaths(g, TimePathQuery{MinLegs: 2, MaxLegs: 2, MaxGap: 2, Window: 10, Support: 4})
+	if len(paths) == 0 {
+		t.Error("no repeated paths (chains are planted, expected hits)")
+	}
+	periodic := DetectPeriodicity(g, 8, 0.7)
+	if len(periodic) == 0 {
+		t.Error("no periodic lanes (weekly lanes are planted)")
+	}
+	rules := MineLaneRules(g, LaneRuleQuery{MinSupport: 4, MinConfidence: 0.8, MaxSpreadDegrees: 10})
+	if len(rules) == 0 {
+		t.Error("no lane co-occurrence rules (hub spokes share schedules)")
+	}
+}
+
+func TestFacadePatternRanking(t *testing.T) {
+	data := testDataset(t)
+	g := BuildGraph(data, GraphOptions{Attr: GrossWeight, Vertices: UniformLabels})
+	parts := SplitGraph(g, SplitOptions{K: 20, Strategy: BreadthFirst})
+	res, err := MineFrequentSubgraphs(parts, FSGOptions{MinSupport: 5, MaxEdges: 2, MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := RankPatterns(res, parts)
+	if len(scores) != len(res.Patterns) {
+		t.Fatalf("scores %d != patterns %d", len(scores), len(res.Patterns))
+	}
+}
+
+func TestFacadeConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTransactions = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// ExampleSplitGraph demonstrates Algorithm 2: partitioning the single
+// OD graph into edge-disjoint sub-graph transactions.
+func ExampleSplitGraph() {
+	data := GenerateDataset(ScaledConfig(0.025))
+	g := BuildGraph(data, GraphOptions{Attr: GrossWeight, Vertices: UniformLabels})
+	parts := SplitGraph(g, SplitOptions{K: 8, Strategy: BreadthFirst})
+	total := 0
+	for _, p := range parts {
+		total += p.NumEdges()
+	}
+	fmt.Println(total == g.NumEdges())
+	// Output: true
+}
+
+// ExampleMineFrequentSubgraphs demonstrates direct FSG-style mining
+// over explicit graph transactions.
+func ExampleMineFrequentSubgraphs() {
+	data := GenerateDataset(ScaledConfig(0.025))
+	g := BuildGraph(data, GraphOptions{Attr: GrossWeight, Vertices: UniformLabels})
+	parts := SplitGraph(g, SplitOptions{K: 16, Strategy: BreadthFirst})
+	res, err := MineFrequentSubgraphs(parts, FSGOptions{MinSupport: 8, MaxEdges: 2, MaxSteps: 50000})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Patterns) > 0)
+	// Output: true
+}
+
+// ExampleDetectPeriodicity demonstrates the Section 9 periodicity
+// extension: weekly dedicated lanes surface with period 7.
+func ExampleDetectPeriodicity() {
+	data := GenerateDataset(ScaledConfig(0.025))
+	g := BuildDynamicGraph(data, GrossWeight, nil)
+	weekly := 0
+	for _, lane := range DetectPeriodicity(g, 10, 0.8) {
+		if lane.Period == 7 {
+			weekly++
+		}
+	}
+	fmt.Println(weekly > 0)
+	// Output: true
+}
