@@ -312,6 +312,82 @@ func BenchmarkAblationPartitionStrategy(b *testing.B) {
 	b.ReportMetric(float64(df1), "df-1rep")
 }
 
+// --- Engine benches: serial vs parallel mining pipelines ---
+
+var (
+	pipeOnce sync.Once
+	pipeData *dataset.Dataset
+)
+
+// pipelineData generates the ScaledConfig(0.05) dataset the engine
+// benchmarks mine, once.
+func pipelineData(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	pipeOnce.Do(func() { pipeData = dataset.Generate(dataset.DefaultConfig().Scaled(0.05)) })
+	return pipeData
+}
+
+// benchmarkStructuralPipeline runs Algorithm 1 (BF partitioning +
+// FSG across partitions, 3 repetitions) at ScaledConfig(0.05) with
+// the given engine worker count.
+func benchmarkStructuralPipeline(b *testing.B, parallelism int) {
+	data := pipelineData(b)
+	g := data.BuildGraph(dataset.GraphOptions{
+		Attr: dataset.TransitHours, Vertices: dataset.UniformLabels,
+	})
+	b.ResetTimer()
+	var res *StructuralResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = MineStructural(g, StructuralOptions{
+			Strategy:    partition.BreadthFirst,
+			Partitions:  40,
+			Repetitions: 3,
+			Support:     12,
+			MaxEdges:    5,
+			MaxSteps:    200000,
+			Seed:        17,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Patterns)), "patterns")
+}
+
+// BenchmarkStructuralPipelineSerial is the single-worker baseline.
+func BenchmarkStructuralPipelineSerial(b *testing.B) { benchmarkStructuralPipeline(b, 1) }
+
+// BenchmarkStructuralPipelineParallel uses all CPUs; compare ns/op
+// against the serial baseline for the engine speedup.
+func BenchmarkStructuralPipelineParallel(b *testing.B) { benchmarkStructuralPipeline(b, 0) }
+
+// benchmarkTemporalPipeline runs the Section 6 pipeline (per-day
+// partitioning + FSG over day batches) at ScaledConfig(0.05).
+func benchmarkTemporalPipeline(b *testing.B, parallelism int) {
+	data := pipelineData(b)
+	b.ResetTimer()
+	var res *TemporalMineResult
+	for i := 0; i < b.N; i++ {
+		opts := DefaultTemporalMineOptions()
+		opts.Parallelism = parallelism
+		var err error
+		res, err = MineTemporal(data, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Mining.Patterns)), "patterns")
+	b.ReportMetric(float64(len(res.Partition.Transactions)), "transactions")
+}
+
+// BenchmarkTemporalPipelineSerial is the single-worker baseline.
+func BenchmarkTemporalPipelineSerial(b *testing.B) { benchmarkTemporalPipeline(b, 1) }
+
+// BenchmarkTemporalPipelineParallel uses all CPUs.
+func BenchmarkTemporalPipelineParallel(b *testing.B) { benchmarkTemporalPipeline(b, 0) }
+
 // BenchmarkSection9DynamicExtensions regenerates the future-work
 // extension report: repeated connection paths, weekly cadences and
 // spatially filtered lane rules.

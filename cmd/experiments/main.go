@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.05]
+//	experiments [-scale 0.05] [-parallelism N]
 //
 // Scale 1 reproduces the full-size experiments; expect graph-mining
 // sections to take correspondingly longer.
@@ -20,10 +20,12 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 0.05, "synthetic dataset scale in (0, 1]")
+	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	start := time.Now()
 	p := experiments.NewParams(*scale)
+	p.Parallelism = *parallelism
 	fmt.Printf("# Knowledge Discovery from Transportation Network Data — reproduction report\n")
 	fmt.Printf("# scale=%.3f transactions=%d\n\n", *scale, p.Data.Len())
 

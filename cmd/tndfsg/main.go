@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tndfsg [-scale 0.05] [-strategy bf|df] [-sweep] [-recall]
+//	tndfsg [-scale 0.05] [-strategy bf|df] [-sweep] [-recall] [-parallelism N]
 package main
 
 import (
@@ -24,9 +24,11 @@ func main() {
 	strategy := flag.String("strategy", "bf", "partitioning strategy: bf or df")
 	sweep := flag.Bool("sweep", false, "run the partition-size sweep (Section 5.2.2)")
 	recall := flag.Bool("recall", false, "run the planted-pattern recall study (footnote 2)")
+	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	p := experiments.NewParams(*scale)
+	p.Parallelism = *parallelism
 	switch strings.ToLower(*strategy) {
 	case "bf":
 		fmt.Print(experiments.RunFigure2(p))

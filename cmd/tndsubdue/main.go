@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tndsubdue [-scale 0.1] [-principle mdl|size] [-scaling]
+//	tndsubdue [-scale 0.1] [-principle mdl|size] [-scaling] [-parallelism N]
 package main
 
 import (
@@ -22,9 +22,11 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "synthetic dataset scale")
 	principle := flag.String("principle", "mdl", "evaluation principle: mdl or size")
 	scaling := flag.Bool("scaling", false, "also run the runtime-scaling series")
+	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	p := experiments.NewParams(*scale)
+	p.Parallelism = *parallelism
 	switch strings.ToLower(*principle) {
 	case "mdl":
 		fmt.Print(experiments.RunFigure1(p))

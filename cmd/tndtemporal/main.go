@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tndtemporal [-scale 0.05] [-mine] [-blowup]
+//	tndtemporal [-scale 0.05] [-mine] [-blowup] [-parallelism N]
 package main
 
 import (
@@ -22,9 +22,11 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "synthetic dataset scale")
 	mine := flag.Bool("mine", true, "run frequent-pattern mining (Figure 4)")
 	blowup := flag.Bool("blowup", false, "run the Section 8 candidate blow-up study")
+	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	p := experiments.NewParams(*scale)
+	p.Parallelism = *parallelism
 	fmt.Print(experiments.RunTable2(p))
 	fmt.Println()
 	fmt.Print(experiments.RunTable3(p))

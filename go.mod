@@ -1,0 +1,3 @@
+module tnkd
+
+go 1.24

@@ -14,12 +14,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"tnkd/internal/bin"
 	"tnkd/internal/dataset"
+	"tnkd/internal/engine"
 	"tnkd/internal/fsg"
 	"tnkd/internal/graph"
 	"tnkd/internal/partition"
@@ -46,6 +48,11 @@ type StructuralOptions struct {
 	MaxCandidates int
 	// Seed drives the random partitionings.
 	Seed int64
+	// Parallelism is the worker count: the m repetitions mine
+	// concurrently, and each repetition's support counting fans out
+	// on the same setting. <= 0 selects GOMAXPROCS; 1 runs fully
+	// serial. Results are identical for every value.
+	Parallelism int
 }
 
 // DefaultStructuralOptions mirrors the paper's breadth-first run.
@@ -111,22 +118,52 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &StructuralResult{}
 	byCode := make(map[string]*StructuralPattern)
-	for rep := 0; rep < opts.Repetitions; rep++ {
-		parts := partition.SplitGraph(g, partition.SplitOptions{
+
+	// Draw all m partitionings serially first — they consume the
+	// shared RNG stream, and drawing them in repetition order keeps
+	// the partitionings (and therefore the mining output) identical
+	// to a fully serial run. The expensive part, one FSG run per
+	// partitioning, then fans out across the engine pool.
+	partitionings := make([][]*graph.Graph, opts.Repetitions)
+	for rep := range partitionings {
+		partitionings[rep] = partition.SplitGraph(g, partition.SplitOptions{
 			K:        opts.Partitions,
 			Strategy: opts.Strategy,
 			Rand:     rng,
 		})
-		res.PartitionCounts = append(res.PartitionCounts, len(parts))
-		runRes, err := fsg.Mine(parts, fsg.Options{
-			MinSupport:    opts.Support,
-			MaxEdges:      opts.MaxEdges,
-			MaxSteps:      opts.MaxSteps,
-			MaxCandidates: opts.MaxCandidates,
+		res.PartitionCounts = append(res.PartitionCounts, len(partitionings[rep]))
+	}
+	// Split the worker budget between the two fan-out levels so the
+	// total stays at the requested Parallelism: with p workers and m
+	// repetitions, min(p, m) repetitions run at once and each FSG run
+	// gets the remaining p/min(p,m) workers for support counting.
+	p := engine.Parallelism(opts.Parallelism)
+	outer := p
+	if outer > opts.Repetitions {
+		outer = opts.Repetitions
+	}
+	inner := p / outer
+	if inner < 1 {
+		inner = 1
+	}
+	runs, err := engine.MapCtx(context.Background(), outer, opts.Repetitions,
+		func(_ context.Context, rep int) (*fsg.Result, error) {
+			runRes, err := fsg.Mine(partitionings[rep], fsg.Options{
+				MinSupport:    opts.Support,
+				MaxEdges:      opts.MaxEdges,
+				MaxSteps:      opts.MaxSteps,
+				MaxCandidates: opts.MaxCandidates,
+				Parallelism:   inner,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: repetition %d: %w", rep, err)
+			}
+			return runRes, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: repetition %d: %w", rep, err)
-		}
+	if err != nil {
+		return nil, err
+	}
+	for _, runRes := range runs {
 		res.PerRun = append(res.PerRun, runRes)
 		for i := range runRes.Patterns {
 			p := &runRes.Patterns[i]
@@ -168,6 +205,12 @@ type TemporalMineOptions struct {
 	MaxEdges        int
 	MaxSteps        int
 	MaxCandidates   int
+	// Parallelism is the worker count for both the per-day partition
+	// build and the cross-day support counting. <= 0 selects
+	// GOMAXPROCS; 1 runs fully serial. Results are identical for
+	// every value. A non-zero Partition.Parallelism takes precedence
+	// for the partitioning stage.
+	Parallelism int
 }
 
 // DefaultTemporalMineOptions mirrors the paper's successful run:
@@ -197,6 +240,9 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 	if opts.SupportFraction <= 0 || opts.SupportFraction > 1 {
 		return nil, fmt.Errorf("core: SupportFraction %f out of (0, 1]", opts.SupportFraction)
 	}
+	if opts.Partition.Parallelism == 0 {
+		opts.Partition.Parallelism = opts.Parallelism
+	}
 	part := partition.Temporal(d, opts.Partition)
 	stats := part.Stats()
 	support := fsg.MinSupportFraction(len(part.Transactions), opts.SupportFraction)
@@ -205,6 +251,7 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 		MaxEdges:      opts.MaxEdges,
 		MaxSteps:      opts.MaxSteps,
 		MaxCandidates: opts.MaxCandidates,
+		Parallelism:   opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,143 @@
+// Package engine is the shared concurrent execution layer of the
+// mining pipelines: a context-aware worker pool with bounded
+// parallelism, deterministic input-ordered result merging, shared
+// work accounting backed by atomic counters, and cancellation on
+// abort.
+//
+// Every miner in this repository fans independent units of work —
+// subgraph-isomorphism tests per (candidate × transaction) in FSG,
+// beam-candidate extension in SUBDUE, the m random partitionings of
+// Algorithm 1, per-day graph construction in the Section 6 temporal
+// pipeline — through this package. Results are merged in input order,
+// so mining output is byte-for-byte identical regardless of the
+// worker count.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism normalises a user-supplied worker count: values <= 0
+// select runtime.GOMAXPROCS(0) (one worker per schedulable CPU), and
+// any positive value is used as given.
+func Parallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Map runs fn(i) for every i in [0, n) on at most p workers (after
+// Parallelism normalisation) and returns the results in input order.
+// With p == 1 or n <= 1 it runs inline with no goroutines, so a
+// serial run has zero scheduling overhead and is trivially identical
+// to the parallel one.
+func Map[T any](p, n int, fn func(i int) T) []T {
+	res, _ := MapCtx(context.Background(), p, n, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	})
+	return res
+}
+
+// MapCtx is Map with cancellation: fn receives a context that is
+// cancelled as soon as any call returns a non-nil error (or the
+// parent context is cancelled), remaining indices are skipped, and
+// the first error in input order is returned. On success every slot
+// of the result is filled and the slice is in input order.
+func MapCtx[T any](ctx context.Context, p, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	p = Parallelism(p)
+	if p > n {
+		p = n
+	}
+	results := make([]T, n)
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next   atomic.Int64 // next index to claim
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		firstI = n // input index of the earliest error seen
+		firstE error
+	)
+	report := func(i int, err error) {
+		// Cancellation fallout is not an error source: once a real
+		// error has been reported (report precedes cancel, so firstE
+		// is set before wctx reads cancelled), a later fn returning
+		// the group's own context.Canceled from a lower index must
+		// not mask it. Parent-context cancellation is surfaced by the
+		// ctx.Err() check after Wait.
+		if errors.Is(err, context.Canceled) && wctx.Err() != nil && ctx.Err() == nil {
+			return
+		}
+		errMu.Lock()
+		if i < firstI {
+			firstI, firstE = i, err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if wctx.Err() != nil {
+					return
+				}
+				v, err := fn(wctx, i)
+				if err != nil {
+					report(i, err)
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	// The parent context may have been cancelled after the last claim.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Counter is a shared atomic tally (iso tests performed, budgeted
+// aborts observed, candidates generated, ...). The zero value is
+// ready to use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int) { c.n.Add(int64(d)) }
+
+// Load returns the current value.
+func (c *Counter) Load() int { return int(c.n.Load()) }

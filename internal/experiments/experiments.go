@@ -26,6 +26,10 @@ type Params struct {
 	Scale float64
 	// Seed drives any per-experiment randomness.
 	Seed int64
+	// Parallelism is the engine worker count handed to every miner
+	// (<= 0 selects GOMAXPROCS, 1 is fully serial). Mining results
+	// are identical for every value; only wall-clock time changes.
+	Parallelism int
 }
 
 // NewParams generates a dataset at the given scale and returns ready

@@ -42,6 +42,7 @@ func RunFigure2(p Params) *Figure2Result {
 		MaxEdges:    5,
 		MaxSteps:    50000,
 		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
 	})
 	if err != nil {
 		panic(err) // options are internally consistent
@@ -108,6 +109,7 @@ func RunFigure3(p Params) *Figure3Result {
 			MaxEdges:    5,
 			MaxSteps:    50000,
 			Seed:        p.Seed,
+			Parallelism: p.Parallelism,
 		})
 		if err != nil {
 			panic(err)
@@ -190,6 +192,7 @@ func RunSection522Sweep(p Params) *Section522SweepResult {
 				MaxEdges:    3,
 				MaxSteps:    50000,
 				Seed:        p.Seed + int64(k),
+				Parallelism: p.Parallelism,
 			})
 			if err != nil {
 				panic(err)
@@ -287,6 +290,7 @@ func RunFootnote2(p Params) *Footnote2Result {
 			}
 			mined, err := fsg.Mine(parts, fsg.Options{
 				MinSupport: support, MaxEdges: 4, MaxSteps: 100000,
+				Parallelism: p.Parallelism,
 			})
 			if err != nil {
 				panic(err)

@@ -81,6 +81,7 @@ func RunFigure1(p Params) *Figure1Result {
 		MaxInstances: 200,
 		MaxSteps:     50000,
 		MinInstances: 2,
+		Parallelism:  p.Parallelism,
 	})
 	out := &Figure1Result{
 		GraphVertices: sub.NumVertices(),
@@ -179,6 +180,7 @@ func RunSection51Size(p Params) *Section51SizeResult {
 		MaxInstances: 200,
 		MaxSteps:     50000,
 		MinInstances: 2,
+		Parallelism:  p.Parallelism,
 	})
 	elapsed := time.Since(start)
 	mdlRes := subdue.Discover(sub, subdue.Options{
@@ -189,6 +191,7 @@ func RunSection51Size(p Params) *Section51SizeResult {
 		MaxInstances: 200,
 		MaxSteps:     50000,
 		MinInstances: 2,
+		Parallelism:  p.Parallelism,
 	})
 	out := &Section51SizeResult{
 		GraphVertices: sub.NumVertices(),
@@ -258,6 +261,7 @@ func RunSection51Scaling(p Params, sizes []int) *Section51ScalingResult {
 			MaxInstances: 150,
 			MaxSteps:     50000,
 			MinInstances: 2,
+			Parallelism:  p.Parallelism,
 		})
 		res.Points = append(res.Points, ScalingPoint{
 			Vertices:   sub.NumVertices(),

@@ -26,6 +26,7 @@ type Table2Result struct {
 func RunTable2(p Params) *Table2Result {
 	opts := partition.DefaultTemporalOptions()
 	opts.SplitComponents = false // Table 2 counts whole daily graphs
+	opts.Parallelism = p.Parallelism
 	res := partition.Temporal(p.Data, opts)
 	return &Table2Result{
 		Stats:                 res.Stats(),
@@ -65,6 +66,7 @@ func labelCap(p Params) int {
 	dayOpts := partition.DefaultTemporalOptions()
 	dayOpts.SplitComponents = false
 	dayOpts.DropSingleEdge = false
+	dayOpts.Parallelism = p.Parallelism
 	res := partition.Temporal(p.Data, dayOpts)
 	if len(res.Transactions) == 0 {
 		return 8
@@ -85,6 +87,7 @@ func labelCap(p Params) int {
 func RunTable3(p Params) *Table3Result {
 	opts := partition.DefaultTemporalOptions()
 	opts.MaxVertexLabels = labelCap(p)
+	opts.Parallelism = p.Parallelism
 	res := partition.Temporal(p.Data, opts)
 	return &Table3Result{Stats: res.Stats(), Filtered: res.FilteredByVertexLabels}
 }
@@ -121,6 +124,7 @@ type Figure4Result struct {
 func RunFigure4(p Params) *Figure4Result {
 	opts := core.DefaultTemporalMineOptions()
 	opts.Partition.MaxVertexLabels = labelCap(p)
+	opts.Parallelism = p.Parallelism
 	res, err := core.MineTemporal(p.Data, opts)
 	if err != nil {
 		panic(err)
@@ -211,6 +215,7 @@ func RunSection8(p Params, budget int) *Section8Result {
 			MaxEdges:      2,
 			MaxSteps:      20000,
 			MaxCandidates: budget,
+			Parallelism:   p.Parallelism,
 		})
 		if err != nil {
 			panic(err)

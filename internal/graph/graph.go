@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex within a Graph. IDs are assigned
@@ -55,7 +56,92 @@ type Graph struct {
 
 	numVertices int
 	numEdges    int
+
+	// idx caches the per-label adjacency index. It is built lazily on
+	// first labeled lookup and dropped on any mutation. The pointer is
+	// atomic so concurrent read-only users (parallel mining workers)
+	// can share one graph: racing builders construct identical
+	// indices, and whichever Store lands last wins.
+	idx atomic.Pointer[labelIndex]
 }
+
+// labelIndex accelerates label-constrained lookups: live outgoing and
+// incoming edges grouped by edge label per vertex, and live vertices
+// grouped by vertex label. All slices are in ascending ID order.
+type labelIndex struct {
+	out             []map[string][]EdgeID
+	in              []map[string][]EdgeID
+	verticesByLabel map[string][]VertexID
+}
+
+// labelIdx returns the current index, building it if needed.
+func (g *Graph) labelIdx() *labelIndex {
+	if idx := g.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := &labelIndex{
+		out:             make([]map[string][]EdgeID, len(g.vertices)),
+		in:              make([]map[string][]EdgeID, len(g.vertices)),
+		verticesByLabel: make(map[string][]VertexID),
+	}
+	for i, alive := range g.vertexAlive {
+		if alive {
+			v := &g.vertices[i]
+			idx.verticesByLabel[v.Label] = append(idx.verticesByLabel[v.Label], v.ID)
+		}
+	}
+	for i, alive := range g.edgeAlive {
+		if !alive {
+			continue
+		}
+		e := &g.edges[i]
+		if idx.out[e.From] == nil {
+			idx.out[e.From] = make(map[string][]EdgeID)
+		}
+		idx.out[e.From][e.Label] = append(idx.out[e.From][e.Label], e.ID)
+		if idx.in[e.To] == nil {
+			idx.in[e.To] = make(map[string][]EdgeID)
+		}
+		idx.in[e.To][e.Label] = append(idx.in[e.To][e.Label], e.ID)
+	}
+	g.idx.Store(idx)
+	return idx
+}
+
+// invalidateIdx drops the cached label index after a mutation.
+func (g *Graph) invalidateIdx() { g.idx.Store(nil) }
+
+// OutEdgesLabeled returns the live outgoing edges of v carrying the
+// given label, in ascending ID order.
+func (g *Graph) OutEdgesLabeled(v VertexID, label string) []EdgeID {
+	if m := g.labelIdx().out[v]; m != nil {
+		return m[label]
+	}
+	return nil
+}
+
+// InEdgesLabeled returns the live incoming edges of v carrying the
+// given label, in ascending ID order.
+func (g *Graph) InEdgesLabeled(v VertexID, label string) []EdgeID {
+	if m := g.labelIdx().in[v]; m != nil {
+		return m[label]
+	}
+	return nil
+}
+
+// VerticesWithLabel returns the live vertices carrying the given
+// label, in ascending ID order.
+func (g *Graph) VerticesWithLabel(label string) []VertexID {
+	return g.labelIdx().verticesByLabel[label]
+}
+
+// VertexCap returns an exclusive upper bound on vertex IDs in g
+// (tombstoned slots included), for sizing dense per-vertex arrays.
+func (g *Graph) VertexCap() int { return len(g.vertices) }
+
+// EdgeCap returns an exclusive upper bound on edge IDs in g
+// (tombstoned slots included), for sizing dense per-edge arrays.
+func (g *Graph) EdgeCap() int { return len(g.edges) }
 
 // New returns an empty graph with the given name.
 func New(name string) *Graph {
@@ -70,6 +156,7 @@ func (g *Graph) AddVertex(label string) VertexID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.numVertices++
+	g.invalidateIdx()
 	return id
 }
 
@@ -85,6 +172,7 @@ func (g *Graph) AddEdge(from, to VertexID, label string) EdgeID {
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
 	g.numEdges++
+	g.invalidateIdx()
 	return id
 }
 
@@ -197,6 +285,7 @@ func (g *Graph) RemoveEdge(id EdgeID) {
 	}
 	g.edgeAlive[id] = false
 	g.numEdges--
+	g.invalidateIdx()
 }
 
 // RemoveVertex removes v and all edges incident on it.
@@ -212,6 +301,7 @@ func (g *Graph) RemoveVertex(v VertexID) {
 	}
 	g.vertexAlive[v] = false
 	g.numVertices--
+	g.invalidateIdx()
 }
 
 // RemoveOrphans removes all vertices with no live incident edges.
@@ -225,6 +315,9 @@ func (g *Graph) RemoveOrphans() int {
 			g.numVertices--
 			removed++
 		}
+	}
+	if removed > 0 {
+		g.invalidateIdx()
 	}
 	return removed
 }

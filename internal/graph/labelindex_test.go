@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func buildLabeled() (*Graph, VertexID, VertexID, VertexID) {
+	g := New("t")
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("A")
+	g.AddEdge(a, b, "x") // e0
+	g.AddEdge(a, b, "y") // e1
+	g.AddEdge(a, b, "x") // e2 parallel duplicate
+	g.AddEdge(b, c, "x") // e3
+	return g, a, b, c
+}
+
+func TestLabeledLookups(t *testing.T) {
+	g, a, b, c := buildLabeled()
+	if got := g.OutEdgesLabeled(a, "x"); !reflect.DeepEqual(got, []EdgeID{0, 2}) {
+		t.Errorf("OutEdgesLabeled(a, x) = %v, want [0 2]", got)
+	}
+	if got := g.OutEdgesLabeled(a, "y"); !reflect.DeepEqual(got, []EdgeID{1}) {
+		t.Errorf("OutEdgesLabeled(a, y) = %v, want [1]", got)
+	}
+	if got := g.InEdgesLabeled(b, "x"); !reflect.DeepEqual(got, []EdgeID{0, 2}) {
+		t.Errorf("InEdgesLabeled(b, x) = %v, want [0 2]", got)
+	}
+	if got := g.OutEdgesLabeled(c, "x"); got != nil {
+		t.Errorf("OutEdgesLabeled(c, x) = %v, want nil", got)
+	}
+	if got := g.VerticesWithLabel("A"); !reflect.DeepEqual(got, []VertexID{a, c}) {
+		t.Errorf("VerticesWithLabel(A) = %v, want [%d %d]", got, a, c)
+	}
+	if got := g.VerticesWithLabel("missing"); got != nil {
+		t.Errorf("VerticesWithLabel(missing) = %v, want nil", got)
+	}
+}
+
+func TestLabelIndexInvalidatedOnMutation(t *testing.T) {
+	g, a, b, _ := buildLabeled()
+	if got := len(g.OutEdgesLabeled(a, "x")); got != 2 {
+		t.Fatalf("precondition: %d x-edges, want 2", got)
+	}
+	g.RemoveEdge(0)
+	if got := g.OutEdgesLabeled(a, "x"); !reflect.DeepEqual(got, []EdgeID{2}) {
+		t.Errorf("after RemoveEdge: OutEdgesLabeled(a, x) = %v, want [2]", got)
+	}
+	id := g.AddEdge(a, b, "x")
+	if got := g.OutEdgesLabeled(a, "x"); !reflect.DeepEqual(got, []EdgeID{2, id}) {
+		t.Errorf("after AddEdge: OutEdgesLabeled(a, x) = %v, want [2 %d]", got, id)
+	}
+	d := g.AddVertex("D")
+	if got := g.VerticesWithLabel("D"); !reflect.DeepEqual(got, []VertexID{d}) {
+		t.Errorf("after AddVertex: VerticesWithLabel(D) = %v, want [%d]", got, d)
+	}
+	g.RemoveVertex(b)
+	if got := g.OutEdgesLabeled(a, "x"); got != nil {
+		t.Errorf("after RemoveVertex(b): OutEdgesLabeled(a, x) = %v, want nil", got)
+	}
+	if got := g.VerticesWithLabel("B"); got != nil {
+		t.Errorf("after RemoveVertex(b): VerticesWithLabel(B) = %v, want nil", got)
+	}
+	g.RemoveOrphans()
+	if got := g.VerticesWithLabel("D"); got != nil {
+		t.Errorf("after RemoveOrphans: VerticesWithLabel(D) = %v, want nil", got)
+	}
+}
+
+func TestLabelIndexCloneIsIndependent(t *testing.T) {
+	g, a, _, _ := buildLabeled()
+	g.OutEdgesLabeled(a, "x") // force index build
+	c := g.Clone()
+	c.RemoveEdge(0)
+	if got := len(g.OutEdgesLabeled(a, "x")); got != 2 {
+		t.Errorf("mutating a clone changed the original index: %d x-edges, want 2", got)
+	}
+	if got := len(c.OutEdgesLabeled(a, "x")); got != 1 {
+		t.Errorf("clone OutEdgesLabeled(a, x) has %d edges, want 1", got)
+	}
+}
+
+// TestLabelIndexConcurrentReads exercises the lazy build from many
+// goroutines at once; run with -race to verify safety.
+func TestLabelIndexConcurrentReads(t *testing.T) {
+	g, a, b, _ := buildLabeled()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if n := len(g.OutEdgesLabeled(a, "x")); n != 2 {
+					t.Errorf("OutEdgesLabeled saw %d edges, want 2", n)
+					return
+				}
+				if n := len(g.InEdgesLabeled(b, "y")); n != 1 {
+					t.Errorf("InEdgesLabeled saw %d edges, want 1", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

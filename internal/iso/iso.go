@@ -26,39 +26,39 @@ type Embedding struct {
 	Edges    map[graph.EdgeID]graph.EdgeID     // pattern edge -> target edge
 }
 
-// clone deep-copies an embedding.
-func (e Embedding) clone() Embedding {
-	c := Embedding{
-		Vertices: make(map[graph.VertexID]graph.VertexID, len(e.Vertices)),
-		Edges:    make(map[graph.EdgeID]graph.EdgeID, len(e.Edges)),
-	}
-	for k, v := range e.Vertices {
-		c.Vertices[k] = v
-	}
-	for k, v := range e.Edges {
-		c.Edges[k] = v
-	}
-	return c
-}
-
-// matcher holds the state of one backtracking search.
+// matcher holds the state of one backtracking search. All per-step
+// state lives in dense slice-backed arrays sized to the pattern and
+// target graphs (indexed by vertex/edge ID), replacing the map-backed
+// state that dominated the profile of support counting: assignment,
+// rollback and membership tests are plain array stores with no
+// hashing and no allocation on the search path.
 type matcher struct {
 	pattern, target *graph.Graph
 
-	order []graph.VertexID // pattern vertex assignment order
+	order  []graph.VertexID // pattern vertex assignment order
+	pEdges []graph.EdgeID   // live pattern edges, ascending
 
-	assigned   map[graph.VertexID]graph.VertexID // pattern -> target
-	usedVertex map[graph.VertexID]bool           // target vertices in use
-	usedEdge   map[graph.EdgeID]bool             // target edges in use
-	edgeMap    map[graph.EdgeID]graph.EdgeID
+	assigned   []graph.VertexID // pattern vertex ID -> target vertex (-1 unassigned)
+	usedVertex []bool           // target vertex ID in use
+	usedEdge   []bool           // target edge ID in use
+	edgeMap    []graph.EdgeID   // pattern edge ID -> target edge (-1 unassigned)
 
-	// excludedEdges / excludedVertices are target elements
-	// unavailable to this search (used by non-overlapping instance
-	// counting).
-	excludedEdges    map[graph.EdgeID]bool
-	excludedVertices map[graph.VertexID]bool
-	restrictVertices map[graph.VertexID]bool
-	restrictEdges    map[graph.EdgeID]bool
+	// excluded/restrict are the Options sets densified over target
+	// IDs; hasRestrict* distinguishes "no restriction" from an empty
+	// restriction set.
+	excludedEdge    []bool
+	excludedVertex  []bool
+	restrictVertex  []bool
+	restrictEdge    []bool
+	hasRestrictVert bool
+	hasRestrictEdge bool
+
+	// candScratch[d] is reused by candidates() at search depth d to
+	// collect and deduplicate candidate vertices without allocating.
+	// One buffer per depth: an outer depth is still iterating its
+	// slice while deeper recursion levels build theirs.
+	candScratch [][]graph.VertexID
+	candSeen    []bool // target vertex ID already collected (reset per call)
 
 	limit   int
 	results []Embedding
@@ -68,6 +68,108 @@ type matcher struct {
 	maxSteps int
 	steps    int
 	aborted  bool
+}
+
+// newMatcher builds the dense search state for one pattern/target
+// pair.
+func newMatcher(pattern, target *graph.Graph, opts Options) *matcher {
+	m := &matcher{
+		pattern:    pattern,
+		target:     target,
+		order:      searchOrder(pattern),
+		pEdges:     pattern.Edges(),
+		assigned:   make([]graph.VertexID, pattern.VertexCap()),
+		usedVertex: make([]bool, target.VertexCap()),
+		usedEdge:   make([]bool, target.EdgeCap()),
+		edgeMap:    make([]graph.EdgeID, pattern.EdgeCap()),
+		candSeen:   make([]bool, target.VertexCap()),
+		limit:      opts.Limit,
+		maxSteps:   opts.MaxSteps,
+	}
+	m.candScratch = make([][]graph.VertexID, len(m.order))
+	for i := range m.assigned {
+		m.assigned[i] = -1
+	}
+	for i := range m.edgeMap {
+		m.edgeMap[i] = -1
+	}
+	if len(opts.ExcludedEdges) > 0 {
+		m.excludedEdge = densifyEdges(opts.ExcludedEdges, target.EdgeCap())
+	}
+	if len(opts.ExcludedVertices) > 0 {
+		m.excludedVertex = densifyVertices(opts.ExcludedVertices, target.VertexCap())
+	}
+	if opts.RestrictVertices != nil {
+		m.hasRestrictVert = true
+		m.restrictVertex = densifyVertices(opts.RestrictVertices, target.VertexCap())
+	}
+	if opts.RestrictEdges != nil {
+		m.hasRestrictEdge = true
+		m.restrictEdge = densifyEdges(opts.RestrictEdges, target.EdgeCap())
+	}
+	return m
+}
+
+func densifyVertices(set map[graph.VertexID]bool, cap int) []bool {
+	dense := make([]bool, cap)
+	for id, ok := range set {
+		if ok && int(id) < cap && id >= 0 {
+			dense[id] = true
+		}
+	}
+	return dense
+}
+
+func densifyEdges(set map[graph.EdgeID]bool, cap int) []bool {
+	dense := make([]bool, cap)
+	for id, ok := range set {
+		if ok && int(id) < cap && id >= 0 {
+			dense[id] = true
+		}
+	}
+	return dense
+}
+
+// excludeEmbedding bars emb's target edges (and, when vertices is
+// set, its target vertices) from subsequent searches on this matcher.
+func (m *matcher) excludeEmbedding(emb Embedding, vertices bool) {
+	if m.excludedEdge == nil {
+		m.excludedEdge = make([]bool, m.target.EdgeCap())
+	}
+	for _, te := range emb.Edges {
+		m.excludedEdge[te] = true
+	}
+	if vertices {
+		if m.excludedVertex == nil {
+			m.excludedVertex = make([]bool, m.target.VertexCap())
+		}
+		for _, tv := range emb.Vertices {
+			m.excludedVertex[tv] = true
+		}
+	}
+}
+
+// resetSearch clears per-search state in O(pattern) — after a search
+// ends, the only live entries in the dense arrays are the current
+// (possibly partial, on abort) assignment — so the matcher can run
+// again against the same target without reallocating its graph-sized
+// state. Exclusions persist.
+func (m *matcher) resetSearch() {
+	for _, pv := range m.order {
+		if tv := m.assigned[pv]; tv >= 0 {
+			m.usedVertex[tv] = false
+			m.assigned[pv] = -1
+		}
+	}
+	for _, pe := range m.pEdges {
+		if te := m.edgeMap[pe]; te >= 0 {
+			m.usedEdge[te] = false
+			m.edgeMap[pe] = -1
+		}
+	}
+	m.results = nil
+	m.steps = 0
+	m.aborted = false
 }
 
 // Options tunes a matching call.
@@ -98,21 +200,7 @@ func FindEmbeddings(pattern, target *graph.Graph, opts Options) []Embedding {
 		pattern.NumEdges() > target.NumEdges() {
 		return nil
 	}
-	m := &matcher{
-		pattern:          pattern,
-		target:           target,
-		order:            searchOrder(pattern),
-		assigned:         make(map[graph.VertexID]graph.VertexID, pattern.NumVertices()),
-		usedVertex:       make(map[graph.VertexID]bool, pattern.NumVertices()),
-		usedEdge:         make(map[graph.EdgeID]bool, pattern.NumEdges()),
-		edgeMap:          make(map[graph.EdgeID]graph.EdgeID, pattern.NumEdges()),
-		excludedEdges:    opts.ExcludedEdges,
-		excludedVertices: opts.ExcludedVertices,
-		restrictVertices: opts.RestrictVertices,
-		restrictEdges:    opts.RestrictEdges,
-		limit:            opts.Limit,
-		maxSteps:         opts.MaxSteps,
-	}
+	m := newMatcher(pattern, target, opts)
 	m.search(0)
 	return m.results
 }
@@ -127,21 +215,11 @@ func Contains(target, pattern *graph.Graph) bool {
 // (found, completed) where completed is false if the search aborted
 // on budget before finding anything.
 func ContainsBudget(target, pattern *graph.Graph, maxSteps int) (found, completed bool) {
-	m := &matcher{
-		pattern:    pattern,
-		target:     target,
-		order:      searchOrder(pattern),
-		assigned:   make(map[graph.VertexID]graph.VertexID, pattern.NumVertices()),
-		usedVertex: make(map[graph.VertexID]bool, pattern.NumVertices()),
-		usedEdge:   make(map[graph.EdgeID]bool, pattern.NumEdges()),
-		edgeMap:    make(map[graph.EdgeID]graph.EdgeID, pattern.NumEdges()),
-		limit:      1,
-		maxSteps:   maxSteps,
-	}
 	if pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices() ||
 		pattern.NumEdges() > target.NumEdges() {
 		return false, true
 	}
+	m := newMatcher(pattern, target, Options{Limit: 1, MaxSteps: maxSteps})
 	m.search(0)
 	return len(m.results) > 0, !m.aborted
 }
@@ -206,15 +284,15 @@ func (m *matcher) search(depth int) bool {
 		}
 	}
 	if depth == len(m.order) {
-		m.results = append(m.results, Embedding{Vertices: m.assigned, Edges: m.edgeMap}.clone())
+		m.results = append(m.results, m.emit())
 		return m.limit > 0 && len(m.results) >= m.limit
 	}
 	pv := m.order[depth]
-	for _, tv := range m.candidates(pv) {
-		if m.usedVertex[tv] || (m.excludedVertices != nil && m.excludedVertices[tv]) {
+	for _, tv := range m.candidates(depth, pv) {
+		if m.usedVertex[tv] || (m.excludedVertex != nil && m.excludedVertex[tv]) {
 			continue
 		}
-		if m.restrictVertices != nil && !m.restrictVertices[tv] {
+		if m.hasRestrictVert && !m.restrictVertex[tv] {
 			continue
 		}
 		chosen, ok := m.tryAssign(pv, tv)
@@ -231,60 +309,82 @@ func (m *matcher) search(depth int) bool {
 	return false
 }
 
+// emit materialises the current dense assignment as a map-backed
+// Embedding (the public result shape).
+func (m *matcher) emit() Embedding {
+	e := Embedding{
+		Vertices: make(map[graph.VertexID]graph.VertexID, len(m.order)),
+		Edges:    make(map[graph.EdgeID]graph.EdgeID, len(m.pEdges)),
+	}
+	for _, pv := range m.order {
+		e.Vertices[pv] = m.assigned[pv]
+	}
+	for _, pe := range m.pEdges {
+		if te := m.edgeMap[pe]; te >= 0 {
+			e.Edges[pe] = te
+		}
+	}
+	return e
+}
+
 // candidates returns plausible target vertices for pattern vertex pv.
 // If pv has an already-assigned neighbor, candidates come from that
-// neighbor's adjacency; otherwise all target vertices are scanned.
-func (m *matcher) candidates(pv graph.VertexID) []graph.VertexID {
+// neighbor's label-indexed adjacency (only target edges carrying the
+// anchoring pattern edge's label are considered); otherwise the
+// target's vertices with pv's label are scanned. The returned slice
+// is the depth's scratch buffer, valid until the next call at the
+// same depth.
+func (m *matcher) candidates(depth int, pv graph.VertexID) []graph.VertexID {
 	plabel := m.pattern.Vertex(pv).Label
 	// Find an assigned pattern neighbor to anchor the candidate set.
 	for _, pe := range m.pattern.OutEdges(pv) {
-		to := m.pattern.Edge(pe).To
-		if tv, ok := m.assigned[to]; ok {
-			return m.filterCands(m.inNeighbors(tv), plabel, pv)
+		ped := m.pattern.Edge(pe)
+		if tv := m.assigned[ped.To]; tv >= 0 {
+			return m.collectAnchored(depth, m.target.InEdgesLabeled(tv, ped.Label), true, plabel, pv)
 		}
 	}
 	for _, pe := range m.pattern.InEdges(pv) {
-		from := m.pattern.Edge(pe).From
-		if tv, ok := m.assigned[from]; ok {
-			return m.filterCands(m.outNeighbors(tv), plabel, pv)
+		ped := m.pattern.Edge(pe)
+		if tv := m.assigned[ped.From]; tv >= 0 {
+			return m.collectAnchored(depth, m.target.OutEdgesLabeled(tv, ped.Label), false, plabel, pv)
 		}
 	}
-	var all []graph.VertexID
-	for _, tv := range m.target.Vertices() {
-		all = append(all, tv)
-	}
-	return m.filterCands(all, plabel, pv)
+	return m.filterCands(depth, m.target.VerticesWithLabel(plabel), plabel, pv)
 }
 
-func (m *matcher) inNeighbors(tv graph.VertexID) []graph.VertexID {
-	var res []graph.VertexID
-	seen := map[graph.VertexID]bool{}
-	for _, e := range m.target.InEdges(tv) {
-		f := m.target.Edge(e).From
-		if !seen[f] {
-			seen[f] = true
-			res = append(res, f)
+// collectAnchored gathers the distinct endpoints (From when fromSide,
+// else To) of the given target edges into the depth's scratch slice,
+// then filters by label and degree.
+func (m *matcher) collectAnchored(depth int, edges []graph.EdgeID, fromSide bool, plabel string, pv graph.VertexID) []graph.VertexID {
+	cands := m.candScratch[depth][:0]
+	for _, e := range edges {
+		ed := m.target.Edge(e)
+		v := ed.To
+		if fromSide {
+			v = ed.From
+		}
+		if !m.candSeen[v] {
+			m.candSeen[v] = true
+			cands = append(cands, v)
 		}
 	}
-	return res
-}
-
-func (m *matcher) outNeighbors(tv graph.VertexID) []graph.VertexID {
-	var res []graph.VertexID
-	seen := map[graph.VertexID]bool{}
-	for _, e := range m.target.OutEdges(tv) {
-		t := m.target.Edge(e).To
-		if !seen[t] {
-			seen[t] = true
-			res = append(res, t)
-		}
+	for _, v := range cands {
+		m.candSeen[v] = false
 	}
-	return res
+	m.candScratch[depth] = cands
+	return m.filterCands(depth, cands, plabel, pv)
 }
 
-func (m *matcher) filterCands(cands []graph.VertexID, plabel string, pv graph.VertexID) []graph.VertexID {
+// filterCands keeps candidates whose label and degrees are compatible
+// with pv, writing into the depth's scratch buffer. When cands is
+// that same buffer the filter runs in place (the write index never
+// passes the read index); index-owned slices are never modified.
+func (m *matcher) filterCands(depth int, cands []graph.VertexID, plabel string, pv graph.VertexID) []graph.VertexID {
 	pOut, pIn := m.pattern.OutDegree(pv), m.pattern.InDegree(pv)
-	res := cands[:0]
+	res := m.candScratch[depth][:0]
+	if cap(res) < len(cands) {
+		res = make([]graph.VertexID, 0, len(cands))
+	}
 	for _, tv := range cands {
 		if m.target.Vertex(tv).Label != plabel {
 			continue
@@ -294,6 +394,7 @@ func (m *matcher) filterCands(cands []graph.VertexID, plabel string, pv graph.Ve
 		}
 		res = append(res, tv)
 	}
+	m.candScratch[depth] = res
 	return res
 }
 
@@ -306,15 +407,15 @@ func (m *matcher) tryAssign(pv, tv graph.VertexID) ([]graph.EdgeID, bool) {
 	rollback := func() {
 		for _, pe := range reserved {
 			te := m.edgeMap[pe]
-			delete(m.edgeMap, pe)
-			delete(m.usedEdge, te)
+			m.edgeMap[pe] = -1
+			m.usedEdge[te] = false
 		}
 	}
 	// Outgoing pattern edges pv -> assigned.
 	for _, pe := range m.pattern.OutEdges(pv) {
 		ped := m.pattern.Edge(pe)
-		tu, ok := m.assigned[ped.To]
-		if !ok {
+		tu := m.assigned[ped.To]
+		if tu < 0 {
 			continue
 		}
 		if !m.reserveEdge(pe, tv, tu, ped.Label, &reserved) {
@@ -325,11 +426,11 @@ func (m *matcher) tryAssign(pv, tv graph.VertexID) ([]graph.EdgeID, bool) {
 	// Incoming pattern edges assigned -> pv.
 	for _, pe := range m.pattern.InEdges(pv) {
 		ped := m.pattern.Edge(pe)
-		tu, ok := m.assigned[ped.From]
-		if !ok {
+		tu := m.assigned[ped.From]
+		if tu < 0 {
 			continue
 		}
-		if m.hasEdgeMap(pe) {
+		if m.edgeMap[pe] >= 0 {
 			continue // self-loop already reserved via the OutEdges pass
 		}
 		if !m.reserveEdge(pe, tu, tv, ped.Label, &reserved) {
@@ -340,23 +441,18 @@ func (m *matcher) tryAssign(pv, tv graph.VertexID) ([]graph.EdgeID, bool) {
 	return reserved, true
 }
 
-func (m *matcher) hasEdgeMap(pe graph.EdgeID) bool {
-	_, ok := m.edgeMap[pe]
-	return ok
-}
-
 // reserveEdge finds an unused target edge from -> to with the given
-// label and reserves it for pattern edge pe.
+// label and reserves it for pattern edge pe. The label index narrows
+// the scan to correctly labeled edges up front.
 func (m *matcher) reserveEdge(pe graph.EdgeID, from, to graph.VertexID, label string, reserved *[]graph.EdgeID) bool {
-	for _, te := range m.target.OutEdges(from) {
-		ted := m.target.Edge(te)
-		if ted.To != to || ted.Label != label {
+	for _, te := range m.target.OutEdgesLabeled(from, label) {
+		if m.target.Edge(te).To != to {
 			continue
 		}
-		if m.usedEdge[te] || (m.excludedEdges != nil && m.excludedEdges[te]) {
+		if m.usedEdge[te] || (m.excludedEdge != nil && m.excludedEdge[te]) {
 			continue
 		}
-		if m.restrictEdges != nil && !m.restrictEdges[te] {
+		if m.hasRestrictEdge && !m.restrictEdge[te] {
 			continue
 		}
 		m.usedEdge[te] = true
@@ -370,11 +466,11 @@ func (m *matcher) reserveEdge(pe graph.EdgeID, from, to graph.VertexID, label st
 func (m *matcher) unassign(pv, tv graph.VertexID, reserved []graph.EdgeID) {
 	for _, pe := range reserved {
 		te := m.edgeMap[pe]
-		delete(m.edgeMap, pe)
-		delete(m.usedEdge, te)
+		m.edgeMap[pe] = -1
+		m.usedEdge[te] = false
 	}
-	delete(m.assigned, pv)
-	delete(m.usedVertex, tv)
+	m.assigned[pv] = -1
+	m.usedVertex[tv] = false
 }
 
 // Isomorphic reports whether a and b are isomorphic labeled directed
@@ -404,26 +500,86 @@ func CountEmbeddings(pattern, target *graph.Graph, limit int) int {
 // allowing overlap"); greedy extraction gives the standard lower
 // bound used by the original system.
 func CountNonOverlapping(pattern, target *graph.Graph, maxSteps int) int {
-	excluded := make(map[graph.EdgeID]bool)
+	if pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices() ||
+		pattern.NumEdges() > target.NumEdges() {
+		return 0
+	}
+	// One matcher serves every extraction round: exclusions
+	// accumulate in its dense state and each round resets in
+	// O(pattern), instead of rebuilding graph-sized state per
+	// instance.
+	m := newMatcher(pattern, target, Options{Limit: 1, MaxSteps: maxSteps})
 	count := 0
 	for {
-		embs := FindEmbeddings(pattern, target, Options{
-			Limit: 1, MaxSteps: maxSteps, ExcludedEdges: excluded,
-		})
-		if len(embs) == 0 {
+		m.search(0)
+		if len(m.results) == 0 {
 			return count
 		}
 		count++
-		for _, te := range embs[0].Edges {
-			excluded[te] = true
-		}
+		m.excludeEmbedding(m.results[0], false)
+		m.resetSearch()
 	}
+}
+
+// Reanchorer repeatedly verifies that concrete target subgraphs are
+// instances of one fixed pattern, returning embeddings keyed to that
+// pattern's IDs. It reuses one matcher's dense graph-sized state
+// across calls — each Reanchor costs O(pattern), not O(target) —
+// which is what SUBDUE's instance re-anchoring needs: one pattern,
+// one big target, many candidate subgraphs. Not safe for concurrent
+// use; create one per goroutine.
+type Reanchorer struct {
+	m *matcher
+}
+
+// NewReanchorer prepares re-anchoring of subgraphs of target onto
+// pattern. maxSteps bounds each search (<= 0 unbounded).
+func NewReanchorer(pattern, target *graph.Graph, maxSteps int) *Reanchorer {
+	m := newMatcher(pattern, target, Options{Limit: 1, MaxSteps: maxSteps})
+	m.restrictVertex = make([]bool, target.VertexCap())
+	m.restrictEdge = make([]bool, target.EdgeCap())
+	m.hasRestrictVert = true
+	m.hasRestrictEdge = true
+	return &Reanchorer{m: m}
+}
+
+// Reanchor maps the pattern onto exactly the target vertices and
+// edges covered by emb (an embedding of some isomorphic construction
+// of the pattern), returning an embedding keyed to the pattern's own
+// vertex/edge IDs.
+func (r *Reanchorer) Reanchor(emb Embedding) (Embedding, bool) {
+	m := r.m
+	if m.pattern.NumVertices() != len(emb.Vertices) {
+		return Embedding{}, false
+	}
+	for _, tv := range emb.Vertices {
+		m.restrictVertex[tv] = true
+	}
+	for _, te := range emb.Edges {
+		m.restrictEdge[te] = true
+	}
+	m.search(0)
+	var out Embedding
+	ok := len(m.results) > 0
+	if ok {
+		out = m.results[0]
+	}
+	for _, tv := range emb.Vertices {
+		m.restrictVertex[tv] = false
+	}
+	for _, te := range emb.Edges {
+		m.restrictEdge[te] = false
+	}
+	m.resetSearch()
+	return out, ok
 }
 
 // EmbedInSubgraph finds one embedding of pattern using only the given
 // target vertices and edges — verifying that a concrete target
 // subgraph is an instance of pattern. The search space is tiny
-// (pattern-sized), so this is cheap.
+// (pattern-sized), but each call pays one allocation of dense
+// matcher state sized to the target graph; for repeated checks
+// against one pattern use Reanchorer.
 func EmbedInSubgraph(pattern, target *graph.Graph, vset map[graph.VertexID]bool, eset map[graph.EdgeID]bool, maxSteps int) (Embedding, bool) {
 	embs := FindEmbeddings(pattern, target, Options{
 		Limit: 1, MaxSteps: maxSteps,
@@ -478,24 +634,23 @@ func GreedyNonOverlap(embs []Embedding) []Embedding {
 // the paper's SUBDUE runs and guarantees termination even for
 // edgeless patterns.
 func FindNonOverlapping(pattern, target *graph.Graph, maxInstances, maxSteps int) []Embedding {
-	exEdges := make(map[graph.EdgeID]bool)
-	exVertices := make(map[graph.VertexID]bool)
+	if pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices() ||
+		pattern.NumEdges() > target.NumEdges() {
+		return nil
+	}
+	// One matcher serves every extraction round (see
+	// CountNonOverlapping).
+	m := newMatcher(pattern, target, Options{Limit: 1, MaxSteps: maxSteps})
 	var result []Embedding
 	for maxInstances <= 0 || len(result) < maxInstances {
-		embs := FindEmbeddings(pattern, target, Options{
-			Limit: 1, MaxSteps: maxSteps,
-			ExcludedEdges: exEdges, ExcludedVertices: exVertices,
-		})
-		if len(embs) == 0 {
+		m.search(0)
+		if len(m.results) == 0 {
 			return result
 		}
-		result = append(result, embs[0])
-		for _, te := range embs[0].Edges {
-			exEdges[te] = true
-		}
-		for _, tv := range embs[0].Vertices {
-			exVertices[tv] = true
-		}
+		emb := m.results[0]
+		result = append(result, emb)
+		m.excludeEmbedding(emb, true)
+		m.resetSearch()
 	}
 	return result
 }

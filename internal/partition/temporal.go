@@ -7,6 +7,7 @@ import (
 
 	"tnkd/internal/bin"
 	"tnkd/internal/dataset"
+	"tnkd/internal/engine"
 	"tnkd/internal/graph"
 )
 
@@ -32,6 +33,12 @@ type TemporalOptions struct {
 	// component splitting — the paper's final run was "limited to
 	// dates with fewer than 200 distinct vertex labels" (Table 3).
 	MaxVertexLabels int
+	// Parallelism is the worker count for building the ~180 per-day
+	// transaction batches (graph build, dedup, filtering, component
+	// split — each day is independent). <= 0 selects GOMAXPROCS; 1
+	// runs fully serial. Results are merged in calendar order and
+	// identical for every value.
+	Parallelism int
 }
 
 // DefaultTemporalOptions mirrors the paper's Section 6 pipeline
@@ -93,16 +100,30 @@ func Temporal(d *dataset.Dataset, opts TemporalOptions) *TemporalResult {
 	sort.Strings(days)
 
 	res := &TemporalResult{DaysTotal: len(days)}
-	for _, day := range days {
+
+	// Each day's batch — graph build, dedup, vertex-label filter,
+	// component split, single-edge filter — is independent of every
+	// other day, so the ~180 batches fan out across the engine pool.
+	// The merge walks days in calendar order, keeping transactions
+	// and counters identical at every Parallelism.
+	type dayBatch struct {
+		txns             []*graph.Graph
+		duplicateDropped int
+		filteredByLabels int
+		singleDropped    int
+	}
+	batches := engine.Map(opts.Parallelism, len(days), func(i int) dayBatch {
+		day := days[i]
 		g := buildDayGraph(day, byDay[day], opts.Attr, binner)
+		var b dayBatch
 		if opts.DedupEdges {
 			deduped, dropped := g.DedupEdges()
-			res.DuplicateEdgesDropped += dropped
+			b.duplicateDropped = dropped
 			g = deduped
 		}
 		if opts.MaxVertexLabels > 0 && len(g.VertexLabels()) >= opts.MaxVertexLabels {
-			res.FilteredByVertexLabels++
-			continue
+			b.filteredByLabels = 1
+			return b
 		}
 		var txns []*graph.Graph
 		if opts.SplitComponents {
@@ -112,11 +133,18 @@ func Temporal(d *dataset.Dataset, opts TemporalOptions) *TemporalResult {
 		}
 		for _, txn := range txns {
 			if opts.DropSingleEdge && txn.NumEdges() <= 1 {
-				res.SingleEdgeDropped++
+				b.singleDropped++
 				continue
 			}
-			res.Transactions = append(res.Transactions, txn)
+			b.txns = append(b.txns, txn)
 		}
+		return b
+	})
+	for _, b := range batches {
+		res.Transactions = append(res.Transactions, b.txns...)
+		res.DuplicateEdgesDropped += b.duplicateDropped
+		res.FilteredByVertexLabels += b.filteredByLabels
+		res.SingleEdgeDropped += b.singleDropped
 	}
 	return res
 }

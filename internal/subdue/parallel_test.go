@@ -1,0 +1,54 @@
+package subdue
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderDiscovery serialises the observable outcome of a discovery
+// run for byte-for-byte equivalence checks.
+func renderDiscovery(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "considered=%d generated=%d\n", r.Considered, r.Generated)
+	for i, s := range r.Best {
+		fmt.Fprintf(&b, "best %d instances=%d value=%.12g\n%s",
+			i, s.Instances, s.Value, s.Graph.Dump())
+	}
+	return b.String()
+}
+
+// TestDiscoverDeterministicAcrossParallelism asserts that the beam
+// search reports identical substructures, scores and counters at
+// Parallelism 1, 4 and GOMAXPROCS. Run under -race this also
+// exercises the concurrent beam evaluation for safety.
+func TestDiscoverDeterministicAcrossParallelism(t *testing.T) {
+	g := planted(12, 20, 3)
+	for _, principle := range []Principle{MDL, Size} {
+		t.Run(principle.String(), func(t *testing.T) {
+			var want string
+			for _, p := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				res := Discover(g, Options{
+					Principle:    principle,
+					BeamWidth:    4,
+					MaxBest:      4,
+					Limit:        15,
+					MaxInstances: 100,
+					MaxSteps:     100000,
+					MinInstances: 2,
+					Parallelism:  p,
+				})
+				got := renderDiscovery(res)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("parallelism %d diverged from serial result:\n--- serial ---\n%s\n--- p=%d ---\n%s",
+						p, want, p, got)
+				}
+			}
+		})
+	}
+}

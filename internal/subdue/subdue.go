@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tnkd/internal/engine"
 	"tnkd/internal/graph"
 	"tnkd/internal/iso"
 )
@@ -64,6 +65,12 @@ type Options struct {
 	// MinInstances filters reported substructures (default 2: a
 	// pattern occurring once compresses nothing).
 	MinInstances int
+	// Parallelism is the worker count for beam-candidate evaluation:
+	// each beam parent's instance-driven extension and scoring runs
+	// as one unit of work on the engine pool. <= 0 selects
+	// GOMAXPROCS; 1 runs fully serial. Results are identical for
+	// every value.
+	Parallelism int
 }
 
 // DefaultOptions mirrors the paper's MDL run: beam 4, best 3.
@@ -163,18 +170,40 @@ func (d *discoverer) run() *Result {
 	parents := d.initialSubstructures()
 	var best []Substructure
 	for d.res.Considered < d.opts.Limit && len(parents) > 0 {
-		var children []Substructure
-		for i := range parents {
-			if d.res.Considered >= d.opts.Limit {
-				break
-			}
-			d.res.Considered++
-			for _, ext := range d.extend(&parents[i]) {
-				d.res.Generated++
-				children = append(children, ext)
-				if ext.Instances >= d.opts.MinInstances && ext.Graph.NumEdges() > 0 {
-					best = insertCapped(best, ext, d.opts.MaxBest)
+		// Expand as many beam parents as the -limit allows this
+		// level. Each parent's extension+scoring is independent of
+		// the others, so the beam fans out across the engine pool;
+		// the cross-parent isomorphism dedup below stays serial and
+		// walks parents in beam order, which keeps the child list —
+		// and therefore the whole search — identical at every
+		// Parallelism.
+		expand := parents
+		if remain := d.opts.Limit - d.res.Considered; len(expand) > remain {
+			expand = expand[:remain]
+		}
+		outs := engine.Map(d.opts.Parallelism, len(expand), func(i int) []rawCand {
+			return d.extend(&expand[i])
+		})
+		d.res.Considered += len(expand)
+		// Serial cross-parent dedup in beam order, then a second
+		// fan-out scoring only the survivors — duplicate patterns
+		// (common between sibling parents) are never scored.
+		var survivors []rawCand
+		for _, cands := range outs {
+			for _, rc := range cands {
+				if d.alreadySeen(rc.fp, rc.pattern) {
+					continue
 				}
+				d.res.Generated++
+				survivors = append(survivors, rc)
+			}
+		}
+		children := engine.Map(d.opts.Parallelism, len(survivors), func(i int) Substructure {
+			return d.score(survivors[i].pattern, survivors[i].embs)
+		})
+		for _, sub := range children {
+			if sub.Instances >= d.opts.MinInstances && sub.Graph.NumEdges() > 0 {
+				best = insertCapped(best, sub, d.opts.MaxBest)
 			}
 		}
 		sortByValue(children)
@@ -237,6 +266,10 @@ type extCandidate struct {
 	pattern *graph.Graph
 	embs    []iso.Embedding
 	seen    map[string]bool // instance dedup by target vertex+edge sets
+	// re re-anchors instances reached through a different isomorphic
+	// construction onto pattern, built lazily on first need and
+	// reused so each re-anchor costs O(pattern), not O(target).
+	re *iso.Reanchorer
 }
 
 // descKey identifies an extension construction independent of the
@@ -266,12 +299,23 @@ type descInfo struct {
 	needsReanchor bool
 }
 
+// rawCand is one unscored extension pattern produced by extend, with
+// the fingerprint used for cross-parent dedup. Scoring happens after
+// dedup so duplicates are never scored.
+type rawCand struct {
+	fp      string
+	pattern *graph.Graph
+	embs    []iso.Embedding
+}
+
 // extend generates all one-edge extensions of sub that occur in the
 // graph, growing each parent instance by one incident edge — the
 // classic SUBDUE instance-driven extension, which never performs a
 // global isomorphism search. Extension patterns are grouped by cheap
 // fingerprint and verified with exact isomorphism within a group.
-func (d *discoverer) extend(sub *Substructure) []Substructure {
+// It reads only the shared graph (never the shared seen-set or
+// result counters), so distinct parents extend safely in parallel.
+func (d *discoverer) extend(sub *Substructure) []rawCand {
 	candidates := make(map[string][]*extCandidate)
 	var order []string // fingerprints in first-seen order, for determinism
 	descs := make(map[descKey]*descInfo)
@@ -315,6 +359,12 @@ func (d *discoverer) extend(sub *Substructure) []Substructure {
 		return info
 	}
 
+	// Pattern vertices in ascending ID order: embedding maps must be
+	// walked in a fixed order — Go map iteration is randomised, and
+	// the order here decides instance insertion order, fingerprint
+	// first-seen order and the MaxInstances cutoff, all of which must
+	// be deterministic.
+	pvs := sub.Graph.Vertices()
 	for _, emb := range sub.instances {
 		// Reverse map: target vertex -> pattern vertex.
 		rev := make(map[graph.VertexID]graph.VertexID, len(emb.Vertices))
@@ -326,7 +376,8 @@ func (d *discoverer) extend(sub *Substructure) []Substructure {
 			usedEdges[te] = true
 		}
 		atVertexCap := d.opts.MaxVertices > 0 && sub.Graph.NumVertices() >= d.opts.MaxVertices
-		for _, tv := range emb.Vertices {
+		for _, pv := range pvs {
+			tv := emb.Vertices[pv]
 			for _, te := range append(d.g.OutEdges(tv), d.g.InEdges(tv)...) {
 				if usedEdges[te] {
 					continue
@@ -376,7 +427,14 @@ func (d *discoverer) extend(sub *Substructure) []Substructure {
 					// The same instance subgraph reached through a
 					// different construction: re-anchor the embedding
 					// onto the candidate's pattern graph.
-					re, ok := reanchor(cand.pattern, d.g, newEmb, d.opts.MaxSteps)
+					if cand.re == nil {
+						maxSteps := d.opts.MaxSteps
+						if maxSteps <= 0 {
+							maxSteps = 10000
+						}
+						cand.re = iso.NewReanchorer(cand.pattern, d.g, maxSteps)
+					}
+					re, ok := cand.re.Reanchor(newEmb)
 					if !ok {
 						continue
 					}
@@ -387,13 +445,10 @@ func (d *discoverer) extend(sub *Substructure) []Substructure {
 		}
 	}
 
-	var out []Substructure
+	var out []rawCand
 	for _, fp := range order {
 		for _, cand := range candidates[fp] {
-			if d.alreadySeen(fp, cand.pattern) {
-				continue
-			}
-			out = append(out, d.score(cand.pattern, cand.embs))
+			out = append(out, rawCand{fp: fp, pattern: cand.pattern, embs: cand.embs})
 		}
 	}
 	return out
@@ -437,23 +492,6 @@ func instanceKey(e iso.Embedding) string {
 		buf = append(buf, ',')
 	}
 	return string(buf)
-}
-
-// reanchor maps pattern onto the concrete target subgraph covered by
-// emb, producing an embedding keyed to pattern's own vertex/edge IDs.
-func reanchor(pattern *graph.Graph, target *graph.Graph, emb iso.Embedding, maxSteps int) (iso.Embedding, bool) {
-	vset := make(map[graph.VertexID]bool, len(emb.Vertices))
-	for _, tv := range emb.Vertices {
-		vset[tv] = true
-	}
-	eset := make(map[graph.EdgeID]bool, len(emb.Edges))
-	for _, te := range emb.Edges {
-		eset[te] = true
-	}
-	if maxSteps <= 0 {
-		maxSteps = 10000
-	}
-	return iso.EmbedInSubgraph(pattern, target, vset, eset, maxSteps)
 }
 
 func sortByValue(subs []Substructure) {

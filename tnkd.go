@@ -24,6 +24,13 @@
 //     classification and EM clustering over the flattened data
 //     (Section 7).
 //
+// Every graph miner executes on a shared worker-pool engine
+// (internal/engine): FSG support counting, SUBDUE beam evaluation,
+// Algorithm 1's repeated partitionings and the per-day temporal
+// batches all fan out across CPUs, controlled by the Parallelism
+// field of the corresponding Options struct (0 = all CPUs, 1 =
+// serial). Mining results are bit-identical at every worker count.
+//
 // # Quick start
 //
 //	data := tnkd.GenerateDataset(tnkd.ScaledConfig(0.05))
