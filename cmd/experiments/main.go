@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.05] [-parallelism N]
+//	experiments [-scale 0.05] [-parallelism N] [-maxembeddings N]
 //
 // Scale 1 reproduces the full-size experiments; expect graph-mining
 // sections to take correspondingly longer.
@@ -21,11 +21,13 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.05, "synthetic dataset scale in (0, 1]")
 	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
+	maxEmbeddings := flag.Int("maxembeddings", 0, "per-level FSG embedding budget (0 = default, -1 = unlimited); over budget the incremental support counter falls back to full isomorphism")
 	flag.Parse()
 
 	start := time.Now()
 	p := experiments.NewParams(*scale)
 	p.Parallelism = *parallelism
+	p.MaxEmbeddings = *maxEmbeddings
 	fmt.Printf("# Knowledge Discovery from Transportation Network Data — reproduction report\n")
 	fmt.Printf("# scale=%.3f transactions=%d\n\n", *scale, p.Data.Len())
 

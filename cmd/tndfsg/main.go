@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tndfsg [-scale 0.05] [-strategy bf|df] [-sweep] [-recall] [-parallelism N]
+//	tndfsg [-scale 0.05] [-strategy bf|df] [-sweep] [-recall] [-parallelism N] [-maxembeddings N]
 package main
 
 import (
@@ -25,10 +25,12 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the partition-size sweep (Section 5.2.2)")
 	recall := flag.Bool("recall", false, "run the planted-pattern recall study (footnote 2)")
 	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
+	maxEmbeddings := flag.Int("maxembeddings", 0, "per-level FSG embedding budget (0 = default, -1 = unlimited); over budget the incremental support counter falls back to full isomorphism")
 	flag.Parse()
 
 	p := experiments.NewParams(*scale)
 	p.Parallelism = *parallelism
+	p.MaxEmbeddings = *maxEmbeddings
 	switch strings.ToLower(*strategy) {
 	case "bf":
 		fmt.Print(experiments.RunFigure2(p))

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tndtemporal [-scale 0.05] [-mine] [-blowup] [-parallelism N]
+//	tndtemporal [-scale 0.05] [-mine] [-blowup] [-parallelism N] [-maxembeddings N]
 package main
 
 import (
@@ -23,10 +23,12 @@ func main() {
 	mine := flag.Bool("mine", true, "run frequent-pattern mining (Figure 4)")
 	blowup := flag.Bool("blowup", false, "run the Section 8 candidate blow-up study")
 	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
+	maxEmbeddings := flag.Int("maxembeddings", 0, "per-level FSG embedding budget (0 = default, -1 = unlimited); over budget the incremental support counter falls back to full isomorphism")
 	flag.Parse()
 
 	p := experiments.NewParams(*scale)
 	p.Parallelism = *parallelism
+	p.MaxEmbeddings = *maxEmbeddings
 	fmt.Print(experiments.RunTable2(p))
 	fmt.Println()
 	fmt.Print(experiments.RunTable3(p))

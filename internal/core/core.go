@@ -24,6 +24,7 @@ import (
 	"tnkd/internal/engine"
 	"tnkd/internal/fsg"
 	"tnkd/internal/graph"
+	"tnkd/internal/iso"
 	"tnkd/internal/partition"
 )
 
@@ -46,6 +47,10 @@ type StructuralOptions struct {
 	MaxSteps int
 	// MaxCandidates bounds FSG's per-level candidate sets.
 	MaxCandidates int
+	// MaxEmbeddings bounds the per-level embedding lists of FSG's
+	// incremental support counter (0 = the fsg default, negative =
+	// unlimited); see fsg.Options.MaxEmbeddings.
+	MaxEmbeddings int
 	// Seed drives the random partitionings.
 	Seed int64
 	// Parallelism is the worker count: the m repetitions mine
@@ -117,7 +122,12 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &StructuralResult{}
-	byCode := make(map[string]*StructuralPattern)
+	// The cross-repetition union buckets by the miner's approximate
+	// isomorphism-invariant code and resolves membership within a
+	// bucket by exact isomorphism, so code collisions never merge
+	// distinct patterns.
+	byCode := make(map[string][]*StructuralPattern)
+	var union []*StructuralPattern
 
 	// Draw all m partitionings serially first — they consume the
 	// shared RNG stream, and drawing them in repetition order keeps
@@ -153,6 +163,7 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 				MaxEdges:      opts.MaxEdges,
 				MaxSteps:      opts.MaxSteps,
 				MaxCandidates: opts.MaxCandidates,
+				MaxEmbeddings: opts.MaxEmbeddings,
 				Parallelism:   inner,
 			})
 			if err != nil {
@@ -167,25 +178,29 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 		res.PerRun = append(res.PerRun, runRes)
 		for i := range runRes.Patterns {
 			p := &runRes.Patterns[i]
-			if existing, ok := byCode[p.Code]; ok {
+			bucket := byCode[p.Code]
+			var existing *StructuralPattern
+			for _, sp := range bucket {
+				if iso.Isomorphic(sp.Graph, p.Graph) {
+					existing = sp
+					break
+				}
+			}
+			if existing != nil {
 				existing.Runs++
 				if p.Support > existing.Support {
 					existing.Support = p.Support
 				}
 				continue
 			}
-			byCode[p.Code] = &StructuralPattern{
-				Graph: p.Graph, Code: p.Code, Support: p.Support, Runs: 1,
-			}
+			sp := &StructuralPattern{Graph: p.Graph, Code: p.Code, Support: p.Support, Runs: 1}
+			byCode[p.Code] = append(bucket, sp)
+			union = append(union, sp)
 		}
 	}
-	codes := make([]string, 0, len(byCode))
-	for c := range byCode {
-		codes = append(codes, c)
-	}
-	sort.Strings(codes)
-	for _, c := range codes {
-		res.Patterns = append(res.Patterns, *byCode[c])
+	sort.SliceStable(union, func(i, j int) bool { return union[i].Code < union[j].Code })
+	for _, sp := range union {
+		res.Patterns = append(res.Patterns, *sp)
 	}
 	sort.SliceStable(res.Patterns, func(i, j int) bool {
 		pi, pj := &res.Patterns[i], &res.Patterns[j]
@@ -205,6 +220,10 @@ type TemporalMineOptions struct {
 	MaxEdges        int
 	MaxSteps        int
 	MaxCandidates   int
+	// MaxEmbeddings bounds the per-level embedding lists of FSG's
+	// incremental support counter (0 = the fsg default, negative =
+	// unlimited).
+	MaxEmbeddings int
 	// Parallelism is the worker count for both the per-day partition
 	// build and the cross-day support counting. <= 0 selects
 	// GOMAXPROCS; 1 runs fully serial. Results are identical for
@@ -251,6 +270,7 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 		MaxEdges:      opts.MaxEdges,
 		MaxSteps:      opts.MaxSteps,
 		MaxCandidates: opts.MaxCandidates,
+		MaxEmbeddings: opts.MaxEmbeddings,
 		Parallelism:   opts.Parallelism,
 	})
 	if err != nil {

@@ -30,6 +30,13 @@ type Params struct {
 	// (<= 0 selects GOMAXPROCS, 1 is fully serial). Mining results
 	// are identical for every value; only wall-clock time changes.
 	Parallelism int
+	// MaxEmbeddings is the per-level embedding budget handed to every
+	// FSG run (0 = the fsg default, negative = unlimited); see
+	// fsg.Options.MaxEmbeddings. While no isomorphism search aborts
+	// on its step budget (true of the stock configs), mining results
+	// are identical for every value — only the incremental/seeded/
+	// full-matching split of the support counter changes.
+	MaxEmbeddings int
 }
 
 // NewParams generates a dataset at the given scale and returns ready

@@ -35,14 +35,15 @@ func RunFigure2(p Params) *Figure2Result {
 	support := p.scaled(240, 3)
 	partitions := p.scaled(800, 8)
 	res, err := core.MineStructural(g, core.StructuralOptions{
-		Strategy:    partition.BreadthFirst,
-		Partitions:  partitions,
-		Repetitions: 2,
-		Support:     support,
-		MaxEdges:    5,
-		MaxSteps:    50000,
-		Seed:        p.Seed,
-		Parallelism: p.Parallelism,
+		Strategy:      partition.BreadthFirst,
+		Partitions:    partitions,
+		Repetitions:   2,
+		Support:       support,
+		MaxEdges:      5,
+		MaxSteps:      50000,
+		MaxEmbeddings: p.MaxEmbeddings,
+		Seed:          p.Seed,
+		Parallelism:   p.Parallelism,
 	})
 	if err != nil {
 		panic(err) // options are internally consistent
@@ -102,14 +103,15 @@ func RunFigure3(p Params) *Figure3Result {
 	partitions := p.scaled(800, 8)
 	run := func(strat partition.Strategy) *core.StructuralResult {
 		res, err := core.MineStructural(g, core.StructuralOptions{
-			Strategy:    strat,
-			Partitions:  partitions,
-			Repetitions: 2,
-			Support:     support,
-			MaxEdges:    5,
-			MaxSteps:    50000,
-			Seed:        p.Seed,
-			Parallelism: p.Parallelism,
+			Strategy:      strat,
+			Partitions:    partitions,
+			Repetitions:   2,
+			Support:       support,
+			MaxEdges:      5,
+			MaxSteps:      50000,
+			MaxEmbeddings: p.MaxEmbeddings,
+			Seed:          p.Seed,
+			Parallelism:   p.Parallelism,
 		})
 		if err != nil {
 			panic(err)
@@ -185,14 +187,15 @@ func RunSection522Sweep(p Params) *Section522SweepResult {
 		}
 		for _, k := range sizes {
 			res, err := core.MineStructural(g, core.StructuralOptions{
-				Strategy:    strat,
-				Partitions:  k,
-				Repetitions: 1,
-				Support:     support,
-				MaxEdges:    3,
-				MaxSteps:    50000,
-				Seed:        p.Seed + int64(k),
-				Parallelism: p.Parallelism,
+				Strategy:      strat,
+				Partitions:    k,
+				Repetitions:   1,
+				Support:       support,
+				MaxEdges:      3,
+				MaxSteps:      50000,
+				MaxEmbeddings: p.MaxEmbeddings,
+				Seed:          p.Seed + int64(k),
+				Parallelism:   p.Parallelism,
 			})
 			if err != nil {
 				panic(err)
@@ -290,7 +293,8 @@ func RunFootnote2(p Params) *Footnote2Result {
 			}
 			mined, err := fsg.Mine(parts, fsg.Options{
 				MinSupport: support, MaxEdges: 4, MaxSteps: 100000,
-				Parallelism: p.Parallelism,
+				MaxEmbeddings: p.MaxEmbeddings,
+				Parallelism:   p.Parallelism,
 			})
 			if err != nil {
 				panic(err)

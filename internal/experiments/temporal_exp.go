@@ -125,6 +125,7 @@ func RunFigure4(p Params) *Figure4Result {
 	opts := core.DefaultTemporalMineOptions()
 	opts.Partition.MaxVertexLabels = labelCap(p)
 	opts.Parallelism = p.Parallelism
+	opts.MaxEmbeddings = p.MaxEmbeddings
 	res, err := core.MineTemporal(p.Data, opts)
 	if err != nil {
 		panic(err)
@@ -170,7 +171,13 @@ func (r *Figure4Result) String() string {
 type BlowupRow struct {
 	VertexLabels int
 	Candidates   int
-	Aborted      bool
+	// Embeddings is the embedding volume the run's support counting
+	// enumerated (summed over levels) — the memory FSG's embedding
+	// lists would hold, in the units fsg.Options.MaxEmbeddings
+	// budgets, so the blow-up reports candidate and embedding memory
+	// side by side.
+	Embeddings int
+	Aborted    bool
 }
 
 // Section8Result reproduces the Section 8 analysis: FSG's candidate
@@ -215,16 +222,20 @@ func RunSection8(p Params, budget int) *Section8Result {
 			MaxEdges:      2,
 			MaxSteps:      20000,
 			MaxCandidates: budget,
+			MaxEmbeddings: p.MaxEmbeddings,
 			Parallelism:   p.Parallelism,
 		})
 		if err != nil {
 			panic(err)
 		}
-		total := 0
+		total, embTotal := 0, 0
 		for _, lv := range res.Levels {
 			total += lv.Candidates
+			embTotal += lv.Embeddings
 		}
-		out.Rows = append(out.Rows, BlowupRow{VertexLabels: labels, Candidates: total, Aborted: res.Aborted})
+		out.Rows = append(out.Rows, BlowupRow{
+			VertexLabels: labels, Candidates: total, Embeddings: embTotal, Aborted: res.Aborted,
+		})
 		if prev >= 0 && total < prev && !res.Aborted && !out.Rows[len(out.Rows)-2].Aborted {
 			out.Monotone = false
 		}
@@ -237,9 +248,9 @@ func RunSection8(p Params, budget int) *Section8Result {
 func (r *Section8Result) String() string {
 	var b strings.Builder
 	b.WriteString("=== Section 8: FSG candidate growth vs. vertex-label cardinality ===\n")
-	b.WriteString("vertex-labels  candidates  aborted(OOM analogue)\n")
+	b.WriteString("vertex-labels  candidates  embeddings  aborted(OOM analogue)\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%13d  %10d  %v\n", row.VertexLabels, row.Candidates, row.Aborted)
+		fmt.Fprintf(&b, "%13d  %10d  %10d  %v\n", row.VertexLabels, row.Candidates, row.Embeddings, row.Aborted)
 	}
 	return b.String()
 }

@@ -1,0 +1,260 @@
+package iso
+
+import (
+	"tnkd/internal/graph"
+)
+
+// DenseEmbedding is the slice-backed form of an Embedding for
+// patterns with dense IDs (every vertex ID in [0, NumVertices) and
+// every edge ID in [0, NumEdges), which holds for all pattern graphs
+// built by Clone+AddVertex+AddEdge): Verts[pv] is the target vertex
+// matched by pattern vertex pv, Edges[pe] the target edge matched by
+// pattern edge pe. It is the storage format of the embedding lists in
+// internal/pattern — two small slices instead of two maps, so storing
+// and extending hundreds of thousands of embeddings stays cheap.
+type DenseEmbedding struct {
+	Verts []graph.VertexID
+	Edges []graph.EdgeID
+}
+
+// UsesVertex reports whether tv is already matched by some pattern
+// vertex. Pattern sides are tiny (a few dozen vertices at most), so a
+// linear scan beats any hashing.
+func (e DenseEmbedding) UsesVertex(tv graph.VertexID) bool {
+	for _, v := range e.Verts {
+		if v == tv {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesEdge reports whether te is already matched by some pattern
+// edge.
+func (e DenseEmbedding) UsesEdge(te graph.EdgeID) bool {
+	for _, t := range e.Edges {
+		if t == te {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy with room for one more vertex and edge
+// (the one-edge extension growth pattern).
+func (e DenseEmbedding) Clone() DenseEmbedding {
+	verts := make([]graph.VertexID, len(e.Verts), len(e.Verts)+1)
+	copy(verts, e.Verts)
+	edges := make([]graph.EdgeID, len(e.Edges), len(e.Edges)+1)
+	copy(edges, e.Edges)
+	return DenseEmbedding{Verts: verts, Edges: edges}
+}
+
+// ToEmbedding converts to the map-backed public shape.
+func (e DenseEmbedding) ToEmbedding() Embedding {
+	out := Embedding{
+		Vertices: make(map[graph.VertexID]graph.VertexID, len(e.Verts)),
+		Edges:    make(map[graph.EdgeID]graph.EdgeID, len(e.Edges)),
+	}
+	for pv, tv := range e.Verts {
+		out.Vertices[graph.VertexID(pv)] = tv
+	}
+	for pe, te := range e.Edges {
+		out.Edges[graph.EdgeID(pe)] = te
+	}
+	return out
+}
+
+// extended returns a copy of e grown by the new edge's target match
+// (and, when nv >= 0, the new vertex's).
+func (e DenseEmbedding) extended(nv graph.VertexID, te graph.EdgeID) DenseEmbedding {
+	c := e.Clone()
+	if nv >= 0 {
+		c.Verts = append(c.Verts, nv)
+	}
+	c.Edges = append(c.Edges, te)
+	return c
+}
+
+// Embeddings enumerates the embeddings of pattern into target in
+// dense form, on the same slice-backed matcher state FindEmbeddings
+// uses. The pattern must have dense IDs. The second result reports
+// whether the search ran to completion (false when Options.MaxSteps
+// aborted it, in which case the list may be incomplete).
+func Embeddings(target, pattern *graph.Graph, opts Options) ([]DenseEmbedding, bool) {
+	if pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices() ||
+		pattern.NumEdges() > target.NumEdges() {
+		return nil, true
+	}
+	m := newMatcher(pattern, target, opts)
+	m.dense = true
+	m.search(0)
+	return m.denseResults, !m.aborted
+}
+
+// ExtendEmbedding enumerates the one-edge extensions of emb: given an
+// embedding of the parent pattern (child minus newEdge, minus the new
+// endpoint if newEdge introduced one) into target, it finds every way
+// to extend emb across newEdge and appends the grown embeddings to
+// out. Because child was built from the parent by
+// Clone (+AddVertex) +AddEdge, IDs are preserved, so a new endpoint is
+// recognised by its ID lying beyond emb.Verts.
+//
+// Embeddings follow the matcher's semantics: one embedding per
+// injective vertex map, with each pattern edge carrying the first
+// compatible target edge as its witness — parallel duplicate target
+// edges do not multiply embeddings. The child pattern must not repeat
+// a (from, to, label) edge signature (FSG candidate generation never
+// does), so the greedy witness choice is never lossy.
+//
+// This is the incremental step of FSG-style support counting: every
+// embedding of child restricts to exactly one embedding of its
+// parent, so extending a complete parent list yields the complete
+// child list, each embedding exactly once. limit > 0 stops once out
+// holds that many embeddings (existence checks pass 1).
+func ExtendEmbedding(target, child *graph.Graph, emb DenseEmbedding, newEdge graph.EdgeID, limit int, out []DenseEmbedding) []DenseEmbedding {
+	ed := child.Edge(newEdge)
+	fromNew := int(ed.From) >= len(emb.Verts)
+	toNew := int(ed.To) >= len(emb.Verts)
+	switch {
+	case !fromNew && !toNew:
+		// New edge between mapped endpoints: the vertex map is already
+		// fixed, so the first unused target edge on that lane with the
+		// right label is the single witness.
+		tf, tt := emb.Verts[ed.From], emb.Verts[ed.To]
+		for _, te := range target.OutEdgesLabeled(tf, ed.Label) {
+			if target.Edge(te).To != tt || emb.UsesEdge(te) {
+				continue
+			}
+			out = append(out, emb.extended(-1, te))
+			break
+		}
+	case !fromNew:
+		// New edge out of a mapped vertex to a new endpoint: one
+		// extension per distinct compatible endpoint (first edge as
+		// witness). A target edge into an unmapped vertex cannot
+		// already be used (used edges connect mapped vertices), so
+		// only injectivity and the endpoint label need checking.
+		start := len(out)
+		tf := emb.Verts[ed.From]
+		label := child.Vertex(ed.To).Label
+		for _, te := range target.OutEdgesLabeled(tf, ed.Label) {
+			tv := target.Edge(te).To
+			if target.Vertex(tv).Label != label || emb.UsesVertex(tv) {
+				continue
+			}
+			if endpointSeen(out[start:], tv) {
+				continue
+			}
+			out = append(out, emb.extended(tv, te))
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	case !toNew:
+		// New edge into a mapped vertex from a new endpoint.
+		start := len(out)
+		tt := emb.Verts[ed.To]
+		label := child.Vertex(ed.From).Label
+		for _, te := range target.InEdgesLabeled(tt, ed.Label) {
+			tv := target.Edge(te).From
+			if target.Vertex(tv).Label != label || emb.UsesVertex(tv) {
+				continue
+			}
+			if endpointSeen(out[start:], tv) {
+				continue
+			}
+			out = append(out, emb.extended(tv, te))
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	// Both endpoints new would mean a disconnected extension; one-edge
+	// candidate generation never produces one.
+	return out
+}
+
+// endpointSeen reports whether one of this call's extensions already
+// mapped the new pattern vertex (the last Verts slot) to tv —
+// deduping parallel target edges to the same endpoint. Extension
+// counts per embedding are degree-bounded and small, so a linear scan
+// beats a set.
+func endpointSeen(batch []DenseEmbedding, tv graph.VertexID) bool {
+	for i := range batch {
+		if batch[i].Verts[len(batch[i].Verts)-1] == tv {
+			return true
+		}
+	}
+	return false
+}
+
+// GreedyNonOverlapDense is GreedyNonOverlap over dense embeddings: a
+// maximal prefix-greedy subset that is pairwise vertex- and
+// edge-disjoint.
+func GreedyNonOverlapDense(embs []DenseEmbedding) []DenseEmbedding {
+	usedV := make(map[graph.VertexID]bool)
+	usedE := make(map[graph.EdgeID]bool)
+	var out []DenseEmbedding
+	for _, emb := range embs {
+		ok := true
+		for _, tv := range emb.Verts {
+			if usedV[tv] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, te := range emb.Edges {
+				if usedE[te] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, tv := range emb.Verts {
+			usedV[tv] = true
+		}
+		for _, te := range emb.Edges {
+			usedE[te] = true
+		}
+		out = append(out, emb)
+	}
+	return out
+}
+
+// ReanchorDense is Reanchor for dense embeddings: it maps the pattern
+// onto exactly the target vertices and edges covered by emb (an
+// embedding of some isomorphic construction of the pattern),
+// returning an embedding keyed to the pattern's own dense IDs.
+func (r *Reanchorer) ReanchorDense(emb DenseEmbedding) (DenseEmbedding, bool) {
+	m := r.m
+	if m.pattern.NumVertices() != len(emb.Verts) {
+		return DenseEmbedding{}, false
+	}
+	for _, tv := range emb.Verts {
+		m.restrictVertex[tv] = true
+	}
+	for _, te := range emb.Edges {
+		m.restrictEdge[te] = true
+	}
+	m.dense = true
+	m.search(0)
+	var out DenseEmbedding
+	ok := len(m.denseResults) > 0
+	if ok {
+		out = m.denseResults[0]
+	}
+	for _, tv := range emb.Verts {
+		m.restrictVertex[tv] = false
+	}
+	for _, te := range emb.Edges {
+		m.restrictEdge[te] = false
+	}
+	m.dense = false
+	m.resetSearch()
+	return out, ok
+}

@@ -1,0 +1,204 @@
+package iso
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tnkd/internal/graph"
+)
+
+// renderDense serialises a dense embedding for set comparison.
+func renderDense(e DenseEmbedding) string {
+	return fmt.Sprintf("%v|%v", e.Verts, e.Edges)
+}
+
+func sortedRenders(embs []DenseEmbedding) []string {
+	out := make([]string, 0, len(embs))
+	for _, e := range embs {
+		out = append(out, renderDense(e))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// randGraph builds a random dense-ID labeled digraph.
+func denseRandGraph(rng *rand.Rand, nv, ne, vLabels, eLabels int) *graph.Graph {
+	g := graph.New("t")
+	vs := make([]graph.VertexID, nv)
+	for i := range vs {
+		vs[i] = g.AddVertex(fmt.Sprintf("v%d", rng.Intn(vLabels)))
+	}
+	for i := 0; i < ne; i++ {
+		a, b := vs[rng.Intn(nv)], vs[rng.Intn(nv)]
+		if a == b {
+			continue
+		}
+		g.AddEdge(a, b, fmt.Sprintf("e%d", rng.Intn(eLabels)))
+	}
+	return g
+}
+
+// TestEmbeddingsMatchesFindEmbeddings cross-checks the dense
+// enumeration against the map-backed one.
+func TestEmbeddingsMatchesFindEmbeddings(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		target := denseRandGraph(rng, 4+rng.Intn(5), 6+rng.Intn(6), 2, 2)
+		pat := denseRandGraph(rng, 2+rng.Intn(2), 1+rng.Intn(2), 2, 2)
+		dense, completed := Embeddings(target, pat, Options{})
+		if !completed {
+			t.Fatalf("trial %d: unbudgeted search reported incomplete", trial)
+		}
+		maps := FindEmbeddings(pat, target, Options{})
+		if len(dense) != len(maps) {
+			t.Fatalf("trial %d: dense found %d embeddings, map-backed %d", trial, len(dense), len(maps))
+		}
+		for i, de := range dense {
+			me := de.ToEmbedding()
+			for pv, tv := range maps[i].Vertices {
+				if me.Vertices[pv] != tv {
+					t.Fatalf("trial %d: embedding %d vertex mismatch", trial, i)
+				}
+			}
+			for pe, te := range maps[i].Edges {
+				if me.Edges[pe] != te {
+					t.Fatalf("trial %d: embedding %d edge mismatch", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExtendEmbeddingComplete is the incremental-counting invariant:
+// for a child pattern built from its parent by one ID-preserving edge
+// addition, extending every parent embedding across the new edge
+// yields exactly the child's embedding set, each embedding once.
+func TestExtendEmbeddingComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(20050405))
+	trials := 0
+	for trials < 60 {
+		target := denseRandGraph(rng, 5+rng.Intn(5), 8+rng.Intn(8), 2, 2)
+		parent := denseRandGraph(rng, 2+rng.Intn(3), 1+rng.Intn(3), 2, 2)
+		if parent.NumEdges() == 0 {
+			continue
+		}
+		// Build a child by one random extension: new edge between
+		// existing vertices, or a new vertex attached by one edge.
+		child := parent.Clone()
+		vs := child.Vertices()
+		u := vs[rng.Intn(len(vs))]
+		var newEdge graph.EdgeID
+		switch rng.Intn(3) {
+		case 0:
+			v := vs[rng.Intn(len(vs))]
+			label := fmt.Sprintf("e%d", rng.Intn(2))
+			// The extension contract forbids duplicate (from, to,
+			// label) signatures, as in FSG candidate generation.
+			if v == u || hasEdge(child, u, v, label) {
+				continue
+			}
+			newEdge = child.AddEdge(u, v, label)
+		case 1:
+			w := child.AddVertex(fmt.Sprintf("v%d", rng.Intn(2)))
+			newEdge = child.AddEdge(u, w, fmt.Sprintf("e%d", rng.Intn(2)))
+		default:
+			w := child.AddVertex(fmt.Sprintf("v%d", rng.Intn(2)))
+			newEdge = child.AddEdge(w, u, fmt.Sprintf("e%d", rng.Intn(2)))
+		}
+		trials++
+
+		parentEmbs, _ := Embeddings(target, parent, Options{})
+		var extended []DenseEmbedding
+		for _, pe := range parentEmbs {
+			extended = ExtendEmbedding(target, child, pe, newEdge, 0, extended)
+		}
+		direct, _ := Embeddings(target, child, Options{})
+		got, want := sortedRenders(extended), sortedRenders(direct)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: extension found %d embeddings, full search %d\nchild:\n%s",
+				trials, len(got), len(want), child.Dump())
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: embedding sets differ at %d:\n%s\nvs\n%s", trials, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func hasEdge(g *graph.Graph, from, to graph.VertexID, label string) bool {
+	for _, e := range g.OutEdges(from) {
+		ed := g.Edge(e)
+		if ed.To == to && ed.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExtendEmbeddingLimit checks the existence-check fast path stops
+// at the requested number of extensions.
+func TestExtendEmbeddingLimit(t *testing.T) {
+	target := graph.New("t")
+	hub := target.AddVertex("h")
+	for i := 0; i < 5; i++ {
+		s := target.AddVertex("s")
+		target.AddEdge(hub, s, "e")
+	}
+	parent := graph.New("p")
+	parent.AddVertex("h")
+	child := parent.Clone()
+	w := child.AddVertex("s")
+	ne := child.AddEdge(0, w, "e")
+	emb := DenseEmbedding{Verts: []graph.VertexID{hub}}
+	if got := ExtendEmbedding(target, child, emb, ne, 1, nil); len(got) != 1 {
+		t.Fatalf("limit 1: got %d extensions", len(got))
+	}
+	if got := ExtendEmbedding(target, child, emb, ne, 0, nil); len(got) != 5 {
+		t.Fatalf("unlimited: got %d extensions, want 5", len(got))
+	}
+}
+
+// TestReanchorDenseMatchesReanchor cross-checks the dense re-anchorer
+// against the map-backed one on a shuffled isomorphic construction.
+func TestReanchorDenseMatchesReanchor(t *testing.T) {
+	target := graph.New("t")
+	a := target.AddVertex("a")
+	b := target.AddVertex("b")
+	c := target.AddVertex("c")
+	target.AddEdge(a, b, "x")
+	target.AddEdge(b, c, "y")
+
+	// Pattern constructed in a different vertex order than the
+	// instance's natural one.
+	pat := graph.New("p")
+	pc := pat.AddVertex("c")
+	pb := pat.AddVertex("b")
+	pa := pat.AddVertex("a")
+	pat.AddEdge(pb, pc, "y")
+	pat.AddEdge(pa, pb, "x")
+
+	emb := DenseEmbedding{
+		Verts: []graph.VertexID{a, b, c},
+		Edges: []graph.EdgeID{0, 1},
+	}
+	re := NewReanchorer(pat, target, 0)
+	dense, ok := re.ReanchorDense(emb)
+	if !ok {
+		t.Fatal("ReanchorDense failed")
+	}
+	if dense.Verts[pa] != a || dense.Verts[pb] != b || dense.Verts[pc] != c {
+		t.Fatalf("ReanchorDense mapped %v", dense.Verts)
+	}
+	mapped, ok := re.Reanchor(emb.ToEmbedding())
+	if !ok {
+		t.Fatal("Reanchor failed")
+	}
+	for pv, tv := range mapped.Vertices {
+		if dense.Verts[pv] != tv {
+			t.Fatalf("dense and map re-anchor disagree at %d: %d vs %d", pv, dense.Verts[pv], tv)
+		}
+	}
+}

@@ -62,6 +62,10 @@ type matcher struct {
 
 	limit   int
 	results []Embedding
+	// dense switches result collection to DenseEmbedding (requires a
+	// dense-ID pattern); the map-backed results slice stays empty.
+	dense        bool
+	denseResults []DenseEmbedding
 	// maxSteps bounds the number of search-tree nodes expanded; 0
 	// means unbounded. Exceeding the budget aborts the search with
 	// whatever results were found.
@@ -168,6 +172,7 @@ func (m *matcher) resetSearch() {
 		}
 	}
 	m.results = nil
+	m.denseResults = nil
 	m.steps = 0
 	m.aborted = false
 }
@@ -284,8 +289,12 @@ func (m *matcher) search(depth int) bool {
 		}
 	}
 	if depth == len(m.order) {
-		m.results = append(m.results, m.emit())
-		return m.limit > 0 && len(m.results) >= m.limit
+		if m.dense {
+			m.denseResults = append(m.denseResults, m.emitDense())
+		} else {
+			m.results = append(m.results, m.emit())
+		}
+		return m.limit > 0 && len(m.results)+len(m.denseResults) >= m.limit
 	}
 	pv := m.order[depth]
 	for _, tv := range m.candidates(depth, pv) {
@@ -324,6 +333,19 @@ func (m *matcher) emit() Embedding {
 			e.Edges[pe] = te
 		}
 	}
+	return e
+}
+
+// emitDense materialises the current assignment in dense form. The
+// pattern must have dense IDs (assigned/edgeMap fully populated over
+// [0, cap)), which holds for every pattern graph the miners build.
+func (m *matcher) emitDense() DenseEmbedding {
+	e := DenseEmbedding{
+		Verts: make([]graph.VertexID, len(m.assigned)),
+		Edges: make([]graph.EdgeID, len(m.edgeMap)),
+	}
+	copy(e.Verts, m.assigned)
+	copy(e.Edges, m.edgeMap)
 	return e
 }
 

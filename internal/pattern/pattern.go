@@ -1,0 +1,324 @@
+// Package pattern is the shared pattern-with-embeddings store of the
+// mining layers: a pattern graph coupled with its quasi-canonical
+// code, the TID list of supporting transactions, and per-TID
+// embedding lists (vertex/edge maps into each transaction).
+//
+// It is the FSG embedding-list idea — the frequent-itemset TID-list
+// optimisation carried down to vertex maps — applied to the paper's
+// dominant cost (Sections 5–8 of Jiang et al., ICDE 2005): level-wise
+// support counting. A (k+1)-edge candidate's occurrences are exactly
+// the one-edge extensions of its k-edge parent's occurrences, so
+// support counting can extend stored parent embeddings instead of
+// re-proving containment from scratch with a full subgraph-
+// isomorphism search per (candidate × transaction).
+//
+// Embedding lists trade memory for that speed, which is the very
+// trade-off that made the original FSG exhaust memory on
+// transportation-scale data (Section 8). The store therefore meters
+// itself: CountOptions.MaxEmbeddings bounds the embeddings a pattern
+// may retain, and EnforceBudget bounds a whole level; a pattern over
+// budget is demoted to warm-start seeds (SeedsPerTID per
+// transaction), and its extensions fall back to an isomorphism
+// search only when the seeds miss, so memory stays bounded, results
+// stay exact, and the worst case costs what classic counting cost.
+//
+// The same representation serves both transaction-set mining (FSG:
+// many transactions, TID lists) and single-graph discovery (SUBDUE:
+// one target, instance lists — see NewSingle).
+package pattern
+
+import (
+	"strings"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+)
+
+// Pattern couples a pattern graph with its code, support and
+// embeddings. The Graph must have dense IDs (true of every graph
+// built by Clone+AddVertex+AddEdge), because embeddings are stored in
+// dense form.
+type Pattern struct {
+	Graph *graph.Graph
+	// Code is the owning layer's isomorphism-invariant dedup key:
+	// fsg's hashed approximate code ("~" prefix), iso.Code, or the
+	// iso.Fingerprint SUBDUE groups by. Approximate codes require
+	// the SameGraph fallback on equality.
+	Code string
+	// Support is the number of supporting transactions, len(TIDs).
+	Support int
+	// TIDs are the indices of supporting transactions, ascending.
+	TIDs []int
+	// Embs, when tracked, holds one embedding list per supporting
+	// transaction, aligned with TIDs. With Overflowed unset the lists
+	// are complete: every embedding of Graph in txns[TIDs[i]] appears
+	// in Embs[i] exactly once. (A list may be empty in the degenerate
+	// case of a transaction supporting a single-edge pattern only
+	// through self-loops, which admit no injective embedding.) With
+	// Overflowed set the lists are seeds — at most SeedsPerTID true
+	// embeddings per transaction that warm-start extension counting
+	// but cannot prove absence.
+	Embs [][]iso.DenseEmbedding
+	// Overflowed marks that the complete enumeration exceeded its
+	// budget: support data stays valid and Embs (if non-nil) holds
+	// seeds, but deciding an extension's support may need a fallback
+	// isomorphism search.
+	Overflowed bool
+}
+
+// SeedsPerTID is the number of embeddings retained per transaction
+// when a pattern's complete enumeration overflows its budget. Seeds
+// are true embeddings: if one extends across a candidate's new edge,
+// the candidate is supported with no search at all; only when every
+// seed fails does support counting fall back to a full isomorphism
+// search. Small on purpose — seed memory is O(patterns × TIDs ×
+// SeedsPerTID) and sits outside the MaxEmbeddings meter.
+const SeedsPerTID = 2
+
+// HasEmbeddings reports whether the per-TID embedding lists are
+// present and complete.
+func (p *Pattern) HasEmbeddings() bool {
+	return !p.Overflowed && p.Embs != nil
+}
+
+// HasSeeds reports whether at least warm-start seed lists are
+// present.
+func (p *Pattern) HasSeeds() bool { return p.Embs != nil }
+
+// NumEmbeddings returns the total number of stored embeddings across
+// all TIDs.
+func (p *Pattern) NumEmbeddings() int {
+	n := 0
+	for _, l := range p.Embs {
+		n += len(l)
+	}
+	return n
+}
+
+// DropEmbeddings discards the embedding lists entirely and marks the
+// pattern overflowed; support data is untouched. Extensions of the
+// pattern count by classic search only.
+func (p *Pattern) DropEmbeddings() {
+	p.Embs = nil
+	p.Overflowed = true
+}
+
+// DemoteToSeeds truncates each per-TID list to at most SeedsPerTID
+// embeddings and marks the pattern overflowed: what remains are
+// warm-start seeds, no longer a complete enumeration.
+func (p *Pattern) DemoteToSeeds() {
+	for i, l := range p.Embs {
+		if len(l) > SeedsPerTID {
+			p.Embs[i] = l[:SeedsPerTID:SeedsPerTID]
+		}
+	}
+	p.Overflowed = true
+}
+
+// NewSingle returns a Pattern over one implicit transaction (TID 0)
+// holding the given instance list — the single-graph (SUBDUE) view of
+// the store.
+func NewSingle(g *graph.Graph, code string, embs []iso.DenseEmbedding) *Pattern {
+	return &Pattern{
+		Graph:   g,
+		Code:    code,
+		Support: 1,
+		TIDs:    []int{0},
+		Embs:    [][]iso.DenseEmbedding{embs},
+	}
+}
+
+// Instances returns the embedding list of a single-graph pattern
+// (nil when embeddings are not tracked).
+func (p *Pattern) Instances() []iso.DenseEmbedding {
+	if len(p.Embs) == 0 {
+		return nil
+	}
+	return p.Embs[0]
+}
+
+// SameGraph reports whether two pattern graphs with the given
+// quasi-canonical codes are isomorphic. Exact codes decide directly;
+// approximate codes (prefix "~", emitted when iso.Code exceeds its
+// permutation budget) may collide between non-isomorphic graphs, so
+// equality falls back to an explicit isomorphism check. Every place
+// that dedups patterns by code must go through this (or replicate
+// it), or "~" collisions silently merge distinct patterns.
+func SameGraph(codeA string, a *graph.Graph, codeB string, b *graph.Graph) bool {
+	equal, exact := iso.CodesEqual(codeA, codeB)
+	if !equal {
+		return false
+	}
+	if exact {
+		return true
+	}
+	return iso.Isomorphic(a, b)
+}
+
+// ApproxCode reports whether code is approximate (needs the
+// SameGraph isomorphism fallback on equality).
+func ApproxCode(code string) bool { return strings.HasPrefix(code, "~") }
+
+// CountOptions tunes CountExtension.
+type CountOptions struct {
+	// MaxEmbeddings bounds the embeddings the child pattern may
+	// retain (0 = unlimited); over budget the child overflows and
+	// keeps counting by existence checks only.
+	MaxEmbeddings int
+	// MaxSteps bounds each fallback isomorphism search (0 =
+	// unlimited); searches that exceed it count as non-containment
+	// when they found nothing.
+	MaxSteps int
+}
+
+// CountStats meters one CountExtension call.
+type CountStats struct {
+	// IsoTests is the number of full isomorphism searches run (only
+	// the fallback path runs any).
+	IsoTests int
+	// BudgetedTests counts searches aborted on MaxSteps with nothing
+	// found, treated as non-containment.
+	BudgetedTests int
+	// Generated is the number of embeddings enumerated — the memory
+	// unit MaxEmbeddings budgets.
+	Generated int
+}
+
+// CountExtension computes the support of child — parent.Graph plus
+// the single edge newEdge (IDs preserved) — over txns, incrementally
+// when it can. Three tiers, degrading gracefully:
+//
+//   - Complete parent: each parent embedding is extended across
+//     newEdge, so a transaction supports child iff at least one
+//     extension exists, and the extensions are exactly child's
+//     embeddings there — no isomorphism search at all. The child's
+//     lists stay complete until the MaxEmbeddings budget trips
+//     (enforced during enumeration: symmetric patterns in dense
+//     transactions have combinatorially many embeddings, and the
+//     whole point of the meter is never to materialise them), after
+//     which the child keeps SeedsPerTID seeds per transaction.
+//   - Seeded parent: each seed is tried against newEdge; a hit
+//     proves support with no search (a seed extension is a true
+//     embedding), and only when every seed misses does a classic
+//     budgeted search decide — harvesting one embedding as the
+//     child's seed when it succeeds.
+//   - Untracked parent (no lists at all): the classic budgeted
+//     containment test per transaction, exactly the pre-embedding
+//     counter's cost profile.
+//
+// tidFilter must be ascending and is the candidate TID set (by
+// downward closure, the intersection of all isomorphic parents' TID
+// lists); it must be a subset of parent.TIDs on the embedding paths.
+// Support counts are exact in every tier.
+func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, code string, newEdge graph.EdgeID, tidFilter []int, opts CountOptions) (*Pattern, CountStats) {
+	out := &Pattern{Graph: child, Code: code}
+	var st CountStats
+	budget := opts.MaxEmbeddings
+	retained := 0
+
+	complete := parent.HasEmbeddings()
+	if !complete {
+		out.Overflowed = true // seeds (or their absence) beget seeds
+	}
+	fi := 0
+	var buf []iso.DenseEmbedding
+	for pi, tid := range parent.TIDs {
+		for fi < len(tidFilter) && tidFilter[fi] < tid {
+			fi++
+		}
+		if fi >= len(tidFilter) {
+			break
+		}
+		if tidFilter[fi] != tid {
+			continue
+		}
+		// An untracked parent (no lists at all) behaves as a seeded
+		// parent with zero seeds: every transaction decides by
+		// search, at exactly the classic counter's cost.
+		var pembs []iso.DenseEmbedding
+		if parent.Embs != nil {
+			pembs = parent.Embs[pi]
+		}
+		txn := txns[tid]
+
+		// Extend the parent's embeddings (all of them when both sides
+		// are complete, else up to SeedsPerTID hits).
+		lim := SeedsPerTID
+		if complete && !out.Overflowed {
+			lim = 0
+			if budget > 0 {
+				lim = budget - retained + 1
+			}
+		}
+		buf = buf[:0]
+		overBudget := false
+		for _, pe := range pembs {
+			buf = iso.ExtendEmbedding(txn, child, pe, newEdge, lim, buf)
+			if lim > 0 && len(buf) >= lim {
+				overBudget = complete && !out.Overflowed
+				break
+			}
+		}
+		st.Generated += len(buf)
+
+		if len(buf) == 0 {
+			if complete {
+				continue // complete lists prove absence
+			}
+			// Seeds missed: a classic search decides, harvesting the
+			// child's seed on success.
+			st.IsoTests++
+			embs, completed := iso.Embeddings(txn, child, iso.Options{Limit: 1, MaxSteps: opts.MaxSteps})
+			if len(embs) == 0 {
+				if !completed {
+					st.BudgetedTests++
+				}
+				continue
+			}
+			st.Generated += len(embs)
+			out.TIDs = append(out.TIDs, tid)
+			out.Embs = append(out.Embs, embs)
+			continue
+		}
+
+		out.TIDs = append(out.TIDs, tid)
+		if overBudget {
+			// The complete enumeration just tripped the budget:
+			// demote everything stored so far to seeds and continue
+			// in seeded mode.
+			out.DemoteToSeeds()
+			if len(buf) > SeedsPerTID {
+				buf = buf[:SeedsPerTID]
+			}
+		}
+		out.Embs = append(out.Embs, append([]iso.DenseEmbedding(nil), buf...))
+		if !out.Overflowed {
+			retained += len(buf)
+		}
+	}
+	out.Support = len(out.TIDs)
+	return out, st
+}
+
+// EnforceBudget walks patterns in order and demotes complete
+// embedding lists to seeds once the cumulative retained count exceeds
+// budget (0 = unlimited) — the level-wide memory meter, the embedding
+// analogue of FSG's per-level candidate budget. Seed memory
+// (SeedsPerTID per supporting transaction) sits outside the meter by
+// design. It returns the number of complete-list embeddings retained.
+func EnforceBudget(pats []Pattern, budget int) int {
+	retained := 0
+	for i := range pats {
+		p := &pats[i]
+		if !p.HasEmbeddings() {
+			continue
+		}
+		n := p.NumEmbeddings()
+		if budget > 0 && retained+n > budget {
+			p.DemoteToSeeds()
+			continue
+		}
+		retained += n
+	}
+	return retained
+}

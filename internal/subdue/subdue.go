@@ -17,6 +17,7 @@ import (
 	"tnkd/internal/engine"
 	"tnkd/internal/graph"
 	"tnkd/internal/iso"
+	"tnkd/internal/pattern"
 )
 
 // Principle selects the substructure evaluation heuristic.
@@ -95,11 +96,13 @@ type Substructure struct {
 	Instances int
 	// Value is the evaluation score; higher is better.
 	Value float64
-	// instances holds all discovered (possibly overlapping)
-	// embeddings, which seed the next extension round — the classic
-	// SUBDUE instance-growth design that avoids global isomorphism
-	// searches.
-	instances []iso.Embedding
+	// pat is the shared pattern-store representation (internal/
+	// pattern): the substructure graph with its fingerprint and all
+	// discovered (possibly overlapping) instances as a single-target
+	// embedding list. The instances seed the next extension round —
+	// the classic SUBDUE instance-growth design that avoids global
+	// isomorphism searches.
+	pat *pattern.Pattern
 }
 
 // String renders a one-line summary.
@@ -199,7 +202,7 @@ func (d *discoverer) run() *Result {
 			}
 		}
 		children := engine.Map(d.opts.Parallelism, len(survivors), func(i int) Substructure {
-			return d.score(survivors[i].pattern, survivors[i].embs)
+			return d.score(survivors[i].pattern, survivors[i].fp, survivors[i].embs)
 		})
 		for _, sub := range children {
 			if sub.Instances >= d.opts.MinInstances && sub.Graph.NumEdges() > 0 {
@@ -222,16 +225,13 @@ func (d *discoverer) initialSubstructures() []Substructure {
 	var subs []Substructure
 	for _, label := range d.g.VertexLabels() {
 		pg := graph.New("sub")
-		pv := pg.AddVertex(label)
-		var embs []iso.Embedding
+		pg.AddVertex(label)
+		var embs []iso.DenseEmbedding
 		for _, v := range d.g.Vertices() {
 			if d.g.Vertex(v).Label != label {
 				continue
 			}
-			embs = append(embs, iso.Embedding{
-				Vertices: map[graph.VertexID]graph.VertexID{pv: v},
-				Edges:    map[graph.EdgeID]graph.EdgeID{},
-			})
+			embs = append(embs, iso.DenseEmbedding{Verts: []graph.VertexID{v}})
 			if d.opts.MaxInstances > 0 && len(embs) >= d.opts.MaxInstances {
 				break
 			}
@@ -239,7 +239,7 @@ func (d *discoverer) initialSubstructures() []Substructure {
 		if len(embs) == 0 {
 			continue
 		}
-		subs = append(subs, d.score(pg, embs))
+		subs = append(subs, d.score(pg, iso.Fingerprint(pg), embs))
 	}
 	sortByValue(subs)
 	if len(subs) > d.opts.BeamWidth {
@@ -249,22 +249,23 @@ func (d *discoverer) initialSubstructures() []Substructure {
 }
 
 // score computes the non-overlapping instance count and evaluation
-// value of a pattern given its discovered embeddings.
-func (d *discoverer) score(pg *graph.Graph, embs []iso.Embedding) Substructure {
-	disjoint := iso.GreedyNonOverlap(embs)
+// value of a pattern given its fingerprint (already computed by the
+// extend/dedup stage) and its discovered embeddings.
+func (d *discoverer) score(pg *graph.Graph, fp string, embs []iso.DenseEmbedding) Substructure {
+	disjoint := iso.GreedyNonOverlapDense(embs)
 	return Substructure{
 		Graph:     pg,
-		Code:      iso.Fingerprint(pg),
+		Code:      fp,
 		Instances: len(disjoint),
 		Value:     d.eval.value(pg, len(disjoint)),
-		instances: embs,
+		pat:       pattern.NewSingle(pg, fp, embs),
 	}
 }
 
 // extCandidate accumulates the instances of one extension pattern.
 type extCandidate struct {
 	pattern *graph.Graph
-	embs    []iso.Embedding
+	embs    []iso.DenseEmbedding
 	seen    map[string]bool // instance dedup by target vertex+edge sets
 	// re re-anchors instances reached through a different isomorphic
 	// construction onto pattern, built lazily on first need and
@@ -305,7 +306,7 @@ type descInfo struct {
 type rawCand struct {
 	fp      string
 	pattern *graph.Graph
-	embs    []iso.Embedding
+	embs    []iso.DenseEmbedding
 }
 
 // extend generates all one-edge extensions of sub that occur in the
@@ -359,17 +360,18 @@ func (d *discoverer) extend(sub *Substructure) []rawCand {
 		return info
 	}
 
-	// Pattern vertices in ascending ID order: embedding maps must be
-	// walked in a fixed order — Go map iteration is randomised, and
-	// the order here decides instance insertion order, fingerprint
-	// first-seen order and the MaxInstances cutoff, all of which must
-	// be deterministic.
+	// Pattern vertices in ascending ID order: instance vertex maps
+	// are walked in a fixed order because the order here decides
+	// instance insertion order, fingerprint first-seen order and the
+	// MaxInstances cutoff, all of which must be deterministic. Dense
+	// embeddings are indexed by pattern vertex ID, so ascending ID
+	// order is simply slice order.
 	pvs := sub.Graph.Vertices()
-	for _, emb := range sub.instances {
+	for _, emb := range sub.pat.Instances() {
 		// Reverse map: target vertex -> pattern vertex.
-		rev := make(map[graph.VertexID]graph.VertexID, len(emb.Vertices))
-		for pv, tv := range emb.Vertices {
-			rev[tv] = pv
+		rev := make(map[graph.VertexID]graph.VertexID, len(emb.Verts))
+		for pv, tv := range emb.Verts {
+			rev[tv] = graph.VertexID(pv)
 		}
 		usedEdges := make(map[graph.EdgeID]bool, len(emb.Edges))
 		for _, te := range emb.Edges {
@@ -377,7 +379,7 @@ func (d *discoverer) extend(sub *Substructure) []rawCand {
 		}
 		atVertexCap := d.opts.MaxVertices > 0 && sub.Graph.NumVertices() >= d.opts.MaxVertices
 		for _, pv := range pvs {
-			tv := emb.Vertices[pv]
+			tv := emb.Verts[pv]
 			for _, te := range append(d.g.OutEdges(tv), d.g.InEdges(tv)...) {
 				if usedEdges[te] {
 					continue
@@ -413,11 +415,14 @@ func (d *discoverer) extend(sub *Substructure) []rawCand {
 				if d.opts.MaxInstances > 0 && len(cand.embs) >= d.opts.MaxInstances {
 					continue
 				}
-				newEmb := cloneEmbedding(emb)
+				// Dense growth: the added pattern vertex/edge IDs are
+				// exactly the parent's caps (patterns are built by
+				// Clone+Add), so the embedding extends by appending.
+				newEmb := emb.Clone()
 				if info.nv >= 0 {
-					newEmb.Vertices[info.nv] = newTarget
+					newEmb.Verts = append(newEmb.Verts, newTarget)
 				}
-				newEmb.Edges[info.pe] = te
+				newEmb.Edges = append(newEmb.Edges, te)
 				ikey := instanceKey(newEmb)
 				if cand.seen[ikey] {
 					continue
@@ -434,7 +439,7 @@ func (d *discoverer) extend(sub *Substructure) []rawCand {
 						}
 						cand.re = iso.NewReanchorer(cand.pattern, d.g, maxSteps)
 					}
-					re, ok := cand.re.Reanchor(newEmb)
+					re, ok := cand.re.ReanchorDense(newEmb)
 					if !ok {
 						continue
 					}
@@ -454,25 +459,11 @@ func (d *discoverer) extend(sub *Substructure) []rawCand {
 	return out
 }
 
-func cloneEmbedding(e iso.Embedding) iso.Embedding {
-	c := iso.Embedding{
-		Vertices: make(map[graph.VertexID]graph.VertexID, len(e.Vertices)+1),
-		Edges:    make(map[graph.EdgeID]graph.EdgeID, len(e.Edges)+1),
-	}
-	for k, v := range e.Vertices {
-		c.Vertices[k] = v
-	}
-	for k, v := range e.Edges {
-		c.Edges[k] = v
-	}
-	return c
-}
-
 // instanceKey identifies an instance by its target vertex and edge
 // sets, independent of the pattern-side numbering.
-func instanceKey(e iso.Embedding) string {
-	vs := make([]int, 0, len(e.Vertices))
-	for _, tv := range e.Vertices {
+func instanceKey(e iso.DenseEmbedding) string {
+	vs := make([]int, 0, len(e.Verts))
+	for _, tv := range e.Verts {
 		vs = append(vs, int(tv))
 	}
 	es := make([]int, 0, len(e.Edges))

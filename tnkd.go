@@ -31,6 +31,18 @@
 // field of the corresponding Options struct (0 = all CPUs, 1 =
 // serial). Mining results are bit-identical at every worker count.
 //
+// Both miners share a pattern-with-embeddings store
+// (internal/pattern): frequent patterns carry per-transaction
+// embedding lists, so FSG counts a candidate's support by extending
+// its parent's embeddings across the one new edge instead of
+// re-running a full subgraph-isomorphism search per transaction, and
+// SUBDUE's instance growth rides the same representation. Embedding
+// memory is metered by the MaxEmbeddings option of FSGOptions,
+// StructuralOptions and TemporalMineOptions (0 = default budget,
+// negative = unlimited): over-budget patterns keep warm-start seeds
+// and fall back to classic searches, reproducing the paper's
+// memory/speed trade-off as a controlled dial.
+//
 // # Quick start
 //
 //	data := tnkd.GenerateDataset(tnkd.ScaledConfig(0.05))
