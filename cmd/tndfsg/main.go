@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	tndfsg [-scale 0.05] [-strategy bf|df] [-sweep] [-recall] [-parallelism N] [-maxembeddings N]
+//	tndfsg [-scale 0.05] [-strategy bf|df] [-sweep] [-recall] [-parallelism N] [-maxembeddings N] [-store out.tnd]
+//
+// -store persists the headline structural mine (patterns, TID lists,
+// embeddings and the partitioned transactions) to an internal/store
+// file that cmd/tndserve can answer queries from.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 
 	"tnkd/internal/experiments"
+	"tnkd/internal/store"
 )
 
 func main() {
@@ -26,11 +31,18 @@ func main() {
 	recall := flag.Bool("recall", false, "run the planted-pattern recall study (footnote 2)")
 	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
 	maxEmbeddings := flag.Int("maxembeddings", 0, "per-level FSG embedding budget (0 = default, -1 = unlimited); over budget the incremental support counter falls back to full isomorphism")
+	storePath := flag.String("store", "", "persist the mined patterns + embeddings to this store file (serve with tndserve)")
 	flag.Parse()
+	if *storePath != "" {
+		if err := store.CheckWritable(*storePath); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	p := experiments.NewParams(*scale)
 	p.Parallelism = *parallelism
 	p.MaxEmbeddings = *maxEmbeddings
+	p.StorePath = *storePath
 	switch strings.ToLower(*strategy) {
 	case "bf":
 		fmt.Print(experiments.RunFigure2(p))

@@ -1,0 +1,83 @@
+// Command tndserve is the pattern query daemon: an HTTP/JSON server
+// over one or more persisted pattern/embedding stores (written by
+// tndfsg/tndtemporal/experiments with -store). It answers pattern
+// lookup by code, support and TID queries, per-level listings, and
+// per-location occurrence queries — all decoded from the stored
+// embedding lists, never by re-mining or re-matching.
+//
+// Usage:
+//
+//	tndserve -store out.tnd [-store more.tnd ...] [-addr :8321] [-parallelism N]
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /v1/stores
+//	GET /v1/levels
+//	GET /v1/levels/{edges}
+//	GET /v1/patterns/{code}
+//	GET /v1/patterns/{code}/support
+//	GET /v1/patterns/{code}/occurrences[?limit=N]
+//	GET /v1/locations/{label}/patterns
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"tnkd/internal/serve"
+	"tnkd/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tndserve: ")
+	var paths []string
+	flag.Func("store", "store file to serve (repeatable)", func(v string) error {
+		paths = append(paths, v)
+		return nil
+	})
+	addr := flag.String("addr", ":8321", "listen address")
+	parallelism := flag.Int("parallelism", 0, "worker count for store scans (0 = all CPUs)")
+	flag.Parse()
+	if len(paths) == 0 {
+		log.Fatal("at least one -store file is required")
+	}
+
+	var mounts []serve.Mount
+	used := make(map[string]int)
+	for _, p := range paths {
+		r, err := store.Open(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		if n := used[name]; n > 0 {
+			name = fmt.Sprintf("%s#%d", name, n)
+		}
+		used[strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))]++
+		mounts = append(mounts, serve.Mount{Name: name, Reader: r})
+		log.Printf("mounted %s: %d transactions, %d patterns across %d levels",
+			p, r.NumTransactions(), r.NumPatterns(), len(r.Levels()))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := serve.New(mounts, serve.Options{Parallelism: *parallelism})
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down cleanly")
+}

@@ -1,10 +1,17 @@
 // Command tndstats prints the Section 3 / Table 1 data description
-// for a dataset: transaction counts, distinct locations and OD pairs,
-// attribute ranges, and OD-graph degree statistics.
+// for a dataset — transaction counts, distinct locations and OD
+// pairs, attribute ranges, and OD-graph degree statistics — or, with
+// -store, the statistics of a persisted pattern/embedding store
+// (per-level pattern counts, support distribution, embedding volume
+// and completeness) without re-mining anything.
 //
 // Usage:
 //
 //	tndstats [-in file.csv | -scale 0.1]
+//	tndstats -store out.tnd [-recover]
+//
+// -recover salvages a store whose writing run died mid-level by
+// reading the last intact checkpoint footer.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"tnkd"
 	"tnkd/internal/experiments"
+	"tnkd/internal/store"
 )
 
 func main() {
@@ -22,7 +30,23 @@ func main() {
 	log.SetPrefix("tndstats: ")
 	in := flag.String("in", "", "input CSV (default: generate synthetic data)")
 	scale := flag.Float64("scale", 1.0, "synthetic dataset scale when no -in")
+	storePath := flag.String("store", "", "report pattern/support/embedding statistics from this persisted store instead of a dataset")
+	recover := flag.Bool("recover", false, "with -store: salvage a store whose writing run died mid-level (reads the last intact checkpoint footer)")
 	flag.Parse()
+
+	if *storePath != "" {
+		open := store.Open
+		if *recover {
+			open = store.Recover
+		}
+		r, err := open(*storePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		fmt.Print(store.ReadStats(r))
+		return
+	}
 
 	var data *tnkd.Dataset
 	if *in != "" {

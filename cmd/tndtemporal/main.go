@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	tndtemporal [-scale 0.05] [-mine] [-blowup] [-parallelism N] [-maxembeddings N]
+//	tndtemporal [-scale 0.05] [-mine] [-blowup] [-parallelism N] [-maxembeddings N] [-store out.tnd]
+//
+// -store persists the Figure 4 mine (patterns, TID lists, embeddings
+// and the per-day transactions) to an internal/store file that
+// cmd/tndserve can answer queries from.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"log"
 
 	"tnkd/internal/experiments"
+	"tnkd/internal/store"
 )
 
 func main() {
@@ -24,11 +29,18 @@ func main() {
 	blowup := flag.Bool("blowup", false, "run the Section 8 candidate blow-up study")
 	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
 	maxEmbeddings := flag.Int("maxembeddings", 0, "per-level FSG embedding budget (0 = default, -1 = unlimited); over budget the incremental support counter falls back to full isomorphism")
+	storePath := flag.String("store", "", "persist the Figure 4 mine (patterns + embeddings + per-day transactions) to this store file (serve with tndserve)")
 	flag.Parse()
+	if *storePath != "" {
+		if err := store.CheckWritable(*storePath); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	p := experiments.NewParams(*scale)
 	p.Parallelism = *parallelism
 	p.MaxEmbeddings = *maxEmbeddings
+	p.StorePath = *storePath
 	fmt.Print(experiments.RunTable2(p))
 	fmt.Println()
 	fmt.Print(experiments.RunTable3(p))

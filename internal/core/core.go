@@ -26,6 +26,8 @@ import (
 	"tnkd/internal/graph"
 	"tnkd/internal/iso"
 	"tnkd/internal/partition"
+	"tnkd/internal/pattern"
+	"tnkd/internal/store"
 )
 
 // StructuralOptions configures Algorithm 1.
@@ -58,6 +60,14 @@ type StructuralOptions struct {
 	// on the same setting. <= 0 selects GOMAXPROCS; 1 runs fully
 	// serial. Results are identical for every value.
 	Parallelism int
+	// StorePath, when non-empty, persists the run to an
+	// internal/store file: the transaction set is the concatenation
+	// of every repetition's partitioning, and each repetition's
+	// frequent patterns are stored with their TIDs offset into that
+	// concatenated space — one record per (pattern, repetition), so
+	// the store is the exact per-partitioning ground truth the union
+	// was computed from. cmd/tndserve serves the file.
+	StorePath string
 }
 
 // DefaultStructuralOptions mirrors the paper's breadth-first run.
@@ -209,7 +219,60 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 		}
 		return pi.Support > pj.Support
 	})
+	if opts.StorePath != "" {
+		if err := writeStructuralStore(opts.StorePath, g.Name, partitionings, runs, opts); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// writeStructuralStore persists an Algorithm 1 run: the transaction
+// set is every repetition's partitioning concatenated, and each
+// repetition's frequent patterns are written with their TIDs offset
+// by the repetition's position in that concatenation. The store holds
+// one record per (pattern, repetition) — the exact per-partitioning
+// ground truth, embeddings included — so a query layer can aggregate
+// (max support across repetitions, as the union does) or inspect each
+// repetition on its own.
+func writeStructuralStore(path, name string, partitionings [][]*graph.Graph, runs []*fsg.Result, opts StructuralOptions) error {
+	var txns []*graph.Graph
+	offsets := make([]int, len(partitionings))
+	for rep, parts := range partitionings {
+		offsets[rep] = len(txns)
+		txns = append(txns, parts...)
+	}
+	byEdges := make(map[int][]pattern.Pattern)
+	for rep, run := range runs {
+		for i := range run.Patterns {
+			p := run.Patterns[i] // copy; TIDs replaced, embeddings shared read-only
+			shifted := make([]int, len(p.TIDs))
+			for j, tid := range p.TIDs {
+				shifted[j] = tid + offsets[rep]
+			}
+			p.TIDs = shifted
+			byEdges[p.Graph.NumEdges()] = append(byEdges[p.Graph.NumEdges()], p)
+		}
+	}
+	w, err := store.Create(path, store.Meta{
+		Name:       name,
+		Kind:       "structural",
+		MinSupport: opts.Support,
+		Note: fmt.Sprintf("Algorithm 1: %d repetitions × %d partitions (%s), transactions concatenated per repetition, one record per (pattern, repetition)",
+			opts.Repetitions, opts.Partitions, opts.Strategy),
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.WriteTransactions(txns); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.WriteLevels(byEdges); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
 }
 
 // TemporalMineOptions configures the Section 6 pipeline.
@@ -230,6 +293,13 @@ type TemporalMineOptions struct {
 	// every value. A non-zero Partition.Parallelism takes precedence
 	// for the partitioning stage.
 	Parallelism int
+	// StorePath, when non-empty, persists the run to an
+	// internal/store file: the per-day transactions are written up
+	// front and each Apriori level streams to disk as it completes
+	// (fsg.Options.Checkpoint), so completed levels survive even if
+	// the run dies mid-mine (store.Recover / `tndstats -store x
+	// -recover` salvage them). cmd/tndserve serves the file.
+	StorePath string
 }
 
 // DefaultTemporalMineOptions mirrors the paper's successful run:
@@ -265,16 +335,45 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 	part := partition.Temporal(d, opts.Partition)
 	stats := part.Stats()
 	support := fsg.MinSupportFraction(len(part.Transactions), opts.SupportFraction)
-	mined, err := fsg.Mine(part.Transactions, fsg.Options{
+	fsgOpts := fsg.Options{
 		MinSupport:    support,
 		MaxEdges:      opts.MaxEdges,
 		MaxSteps:      opts.MaxSteps,
 		MaxCandidates: opts.MaxCandidates,
 		MaxEmbeddings: opts.MaxEmbeddings,
 		Parallelism:   opts.Parallelism,
-	})
+	}
+	var w *store.Writer
+	if opts.StorePath != "" {
+		var err error
+		w, err = store.Create(opts.StorePath, store.Meta{
+			Name:       "OD/daily",
+			Kind:       "temporal",
+			MinSupport: support,
+			Note:       fmt.Sprintf("Section 6 per-day transactions (%d days)", len(part.Transactions)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := w.WriteTransactions(part.Transactions); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		fsgOpts.Checkpoint = func(lv fsg.LevelStats, pats []fsg.Pattern) error {
+			return w.WriteLevel(lv.Edges, pats)
+		}
+	}
+	mined, err := fsg.Mine(part.Transactions, fsgOpts)
 	if err != nil {
+		if w != nil {
+			w.Abort()
+		}
 		return nil, err
+	}
+	if w != nil {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
 	}
 	return &TemporalMineResult{
 		Partition: part,

@@ -37,6 +37,12 @@ type Params struct {
 	// are identical for every value — only the incremental/seeded/
 	// full-matching split of the support counter changes.
 	MaxEmbeddings int
+	// StorePath, when non-empty, persists the headline mining run of
+	// the figure runners (RunFigure2's BF structural mine,
+	// RunFigure3's DF structural mine, RunFigure4's temporal mine) to
+	// an internal/store file at exactly this path, for cmd/tndserve
+	// to serve. Sweep, recall and blow-up runners never write stores.
+	StorePath string
 }
 
 // NewParams generates a dataset at the given scale and returns ready

@@ -44,6 +44,7 @@ func RunFigure2(p Params) *Figure2Result {
 		MaxEmbeddings: p.MaxEmbeddings,
 		Seed:          p.Seed,
 		Parallelism:   p.Parallelism,
+		StorePath:     p.StorePath,
 	})
 	if err != nil {
 		panic(err) // options are internally consistent
@@ -101,7 +102,7 @@ func RunFigure3(p Params) *Figure3Result {
 	})
 	support := p.scaled(120, 2)
 	partitions := p.scaled(800, 8)
-	run := func(strat partition.Strategy) *core.StructuralResult {
+	run := func(strat partition.Strategy, storePath string) *core.StructuralResult {
 		res, err := core.MineStructural(g, core.StructuralOptions{
 			Strategy:      strat,
 			Partitions:    partitions,
@@ -112,14 +113,16 @@ func RunFigure3(p Params) *Figure3Result {
 			MaxEmbeddings: p.MaxEmbeddings,
 			Seed:          p.Seed,
 			Parallelism:   p.Parallelism,
+			StorePath:     storePath,
 		})
 		if err != nil {
 			panic(err)
 		}
 		return res
 	}
-	df := run(partition.DepthFirst)
-	bf := run(partition.BreadthFirst)
+	// Only the headline DF run persists; the BF contrast is a foil.
+	df := run(partition.DepthFirst, p.StorePath)
+	bf := run(partition.BreadthFirst, "")
 	out := &Figure3Result{Support: support, Partitions: partitions, NumPatterns: len(df.Patterns)}
 	longestChain := func(res *core.StructuralResult) (*core.StructuralPattern, int) {
 		var best *core.StructuralPattern

@@ -126,6 +126,7 @@ func RunFigure4(p Params) *Figure4Result {
 	opts.Partition.MaxVertexLabels = labelCap(p)
 	opts.Parallelism = p.Parallelism
 	opts.MaxEmbeddings = p.MaxEmbeddings
+	opts.StorePath = p.StorePath
 	res, err := core.MineTemporal(p.Data, opts)
 	if err != nil {
 		panic(err)

@@ -1,0 +1,599 @@
+// Package serve is the query daemon over persisted pattern stores —
+// the "heavy traffic" leg of the ROADMAP: an HTTP/JSON API that
+// answers pattern, support and occurrence queries from the embedding
+// lists a mining run already computed and internal/store persisted,
+// without ever re-running an isomorphism search.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/healthz                             liveness
+//	/v1/stores                           mounted stores with meta + level directory
+//	/v1/levels                           per-store level listings
+//	/v1/levels/{edges}                   pattern summaries at one level
+//	/v1/patterns/{code}                  full pattern records for a code
+//	/v1/patterns/{code}/support          support counts + TID lists
+//	/v1/patterns/{code}/occurrences      embeddings decoded against the
+//	                                     stored transactions (locations)
+//	/v1/locations/{label}/patterns       patterns occurring at a vertex
+//	                                     label, counted from embeddings
+//
+// Pattern codes are the miners' isomorphism-invariant codes; an
+// approximate code ("~" prefix) or an Algorithm 1 store (one record
+// per repetition) can match several records, so code-keyed endpoints
+// return every match. Store scans (level listings, location queries)
+// fan out per record on the shared internal/engine worker pool and
+// honour request-context cancellation, so one slow scan neither
+// serialises the server nor outlives its client.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"tnkd/internal/engine"
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+	"tnkd/internal/store"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Parallelism is the engine worker count for store scans (<= 0
+	// selects GOMAXPROCS).
+	Parallelism int
+	// ShutdownGrace bounds how long ListenAndServe waits for in-
+	// flight requests after its context is cancelled (0 = 5s).
+	ShutdownGrace time.Duration
+}
+
+// Mount is one named store served by a Server.
+type Mount struct {
+	// Name keys the store in responses (usually the file base name).
+	Name string
+	// Reader is the opened store.
+	Reader *store.Reader
+}
+
+// Server answers queries over one or more mounted stores. It is
+// stateless beyond the readers and safe for concurrent use.
+type Server struct {
+	mounts []Mount
+	opts   Options
+}
+
+// New builds a Server over the given mounts. Mount order is response
+// order.
+func New(mounts []Mount, opts Options) *Server {
+	return &Server{mounts: mounts, opts: opts}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stores", s.handleStores)
+	mux.HandleFunc("GET /v1/levels", s.handleLevels)
+	mux.HandleFunc("GET /v1/levels/{edges}", s.handleLevel)
+	mux.HandleFunc("GET /v1/patterns/{code}", s.handlePattern)
+	mux.HandleFunc("GET /v1/patterns/{code}/support", s.handleSupport)
+	mux.HandleFunc("GET /v1/patterns/{code}/occurrences", s.handleOccurrences)
+	mux.HandleFunc("GET /v1/locations/{label}/patterns", s.handleLocation)
+	return mux
+}
+
+// ListenAndServe serves until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests get
+// ShutdownGrace to finish, and nil is returned for a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	// Request contexts deliberately do not derive from ctx: its
+	// cancellation means "stop accepting and wind down", not "abort
+	// in-flight work" — Shutdown's grace window governs those.
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	grace := s.opts.ShutdownGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// --- JSON shapes ---
+
+// VertexJSON is one pattern-graph vertex.
+type VertexJSON struct {
+	ID    int    `json:"id"`
+	Label string `json:"label"`
+}
+
+// EdgeJSON is one pattern-graph edge.
+type EdgeJSON struct {
+	ID    int    `json:"id"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Label string `json:"label"`
+}
+
+// GraphJSON is a pattern graph in adjacency form.
+type GraphJSON struct {
+	Name     string       `json:"name,omitempty"`
+	Vertices []VertexJSON `json:"vertices"`
+	Edges    []EdgeJSON   `json:"edges"`
+}
+
+// PatternSummaryJSON is the record-index view of a pattern (no
+// record decode needed).
+type PatternSummaryJSON struct {
+	Store      string `json:"store"`
+	Index      int    `json:"index"`
+	Code       string `json:"code"`
+	Edges      int    `json:"edges"`
+	Support    int    `json:"support"`
+	Embeddings int    `json:"embeddings"`
+	Complete   bool   `json:"complete"`
+	Overflowed bool   `json:"overflowed"`
+}
+
+// PatternJSON is one fully decoded pattern record.
+type PatternJSON struct {
+	PatternSummaryJSON
+	Graph GraphJSON `json:"graph"`
+	TIDs  []int     `json:"tids"`
+}
+
+// StoreJSON describes one mounted store.
+type StoreJSON struct {
+	Name         string            `json:"name"`
+	Path         string            `json:"path"`
+	Meta         store.Meta        `json:"meta"`
+	Transactions int               `json:"transactions"`
+	Patterns     int               `json:"patterns"`
+	Levels       []store.LevelInfo `json:"levels"`
+}
+
+// LevelJSON is one per-store level-directory row.
+type LevelJSON struct {
+	Store    string `json:"store"`
+	Edges    int    `json:"edges"`
+	Patterns int    `json:"patterns"`
+}
+
+// SupportJSON answers a support query for one matching record.
+type SupportJSON struct {
+	Store   string `json:"store"`
+	Index   int    `json:"index"`
+	Code    string `json:"code"`
+	Support int    `json:"support"`
+	TIDs    []int  `json:"tids"`
+}
+
+// OccVertexJSON maps one pattern vertex into a transaction.
+type OccVertexJSON struct {
+	PatternVertex int    `json:"pattern_vertex"`
+	Vertex        int    `json:"vertex"`
+	Label         string `json:"label"`
+}
+
+// OccEdgeJSON maps one pattern edge into a transaction.
+type OccEdgeJSON struct {
+	PatternEdge int    `json:"pattern_edge"`
+	Edge        int    `json:"edge"`
+	From        int    `json:"from"`
+	To          int    `json:"to"`
+	Label       string `json:"label"`
+}
+
+// OccurrenceJSON is one decoded embedding.
+type OccurrenceJSON struct {
+	Vertices []OccVertexJSON `json:"vertices"`
+	Edges    []OccEdgeJSON   `json:"edges"`
+}
+
+// TxnOccurrencesJSON groups a record's occurrences in one
+// transaction.
+type TxnOccurrencesJSON struct {
+	TID         int              `json:"tid"`
+	Transaction string           `json:"transaction,omitempty"`
+	Occurrences []OccurrenceJSON `json:"occurrences"`
+}
+
+// RecordOccurrencesJSON is the occurrence listing of one matching
+// record. Complete reports whether the stored lists are the full
+// enumeration (overflowed records store warm-start seeds only, so
+// their listing is a sample, not a proof of absence).
+type RecordOccurrencesJSON struct {
+	Store        string               `json:"store"`
+	Index        int                  `json:"index"`
+	Code         string               `json:"code"`
+	Support      int                  `json:"support"`
+	Complete     bool                 `json:"complete"`
+	Transactions []TxnOccurrencesJSON `json:"transactions"`
+}
+
+// LocationPatternJSON is one pattern occurring at a queried location
+// label.
+type LocationPatternJSON struct {
+	Store       string `json:"store"`
+	Index       int    `json:"index"`
+	Code        string `json:"code"`
+	Edges       int    `json:"edges"`
+	Support     int    `json:"support"`
+	Occurrences int    `json:"occurrences"`
+	TIDs        []int  `json:"tids"`
+}
+
+// LocationJSON answers a location query.
+type LocationJSON struct {
+	Label string `json:"label"`
+	// Patterns occur at the label, ordered by descending occurrence
+	// count then store order.
+	Patterns []LocationPatternJSON `json:"patterns"`
+	// PatternsWithoutEmbeddings counts records that could not be
+	// checked because they store no embedding lists at all.
+	PatternsWithoutEmbeddings int `json:"patterns_without_embeddings"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is not a server error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
+	out := make([]StoreJSON, 0, len(s.mounts))
+	for _, m := range s.mounts {
+		out = append(out, StoreJSON{
+			Name:         m.Name,
+			Path:         m.Reader.Path(),
+			Meta:         m.Reader.Meta(),
+			Transactions: m.Reader.NumTransactions(),
+			Patterns:     m.Reader.NumPatterns(),
+			Levels:       m.Reader.Levels(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
+	out := []LevelJSON{}
+	for _, m := range s.mounts {
+		for _, lv := range m.Reader.Levels() {
+			out = append(out, LevelJSON{Store: m.Name, Edges: lv.Edges, Patterns: lv.Patterns})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleLevel lists the pattern summaries of one level across all
+// mounts — index-only, no record decodes.
+func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
+	edges, err := strconv.Atoi(r.PathValue("edges"))
+	if err != nil || edges < 1 {
+		writeError(w, http.StatusBadRequest, "level must be a positive edge count, got %q", r.PathValue("edges"))
+		return
+	}
+	out := []PatternSummaryJSON{}
+	for _, m := range s.mounts {
+		start, end := m.Reader.LevelRange(edges)
+		for i := start; i < end; i++ {
+			out = append(out, summaryJSON(m.Name, m.Reader.Info(i)))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func summaryJSON(storeName string, info store.PatternInfo) PatternSummaryJSON {
+	return PatternSummaryJSON{
+		Store:      storeName,
+		Index:      info.Index,
+		Code:       info.Code,
+		Edges:      info.Edges,
+		Support:    info.Support,
+		Embeddings: info.Embeddings,
+		Complete:   info.HasEmbeddings,
+		Overflowed: info.Overflowed,
+	}
+}
+
+// match is one (mount, record) hit for a code.
+type match struct {
+	mount Mount
+	index int
+}
+
+func (s *Server) findCode(code string) []match {
+	var out []match
+	for _, m := range s.mounts {
+		for _, i := range m.Reader.FindByCode(code) {
+			out = append(out, match{mount: m, index: i})
+		}
+	}
+	return out
+}
+
+func (s *Server) handlePattern(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	matches := s.findCode(code)
+	if len(matches) == 0 {
+		writeError(w, http.StatusNotFound, "no pattern with code %q", code)
+		return
+	}
+	out := make([]PatternJSON, 0, len(matches))
+	for _, mt := range matches {
+		p, err := mt.mount.Reader.PatternLite(mt.index)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "decode %s record %d: %v", mt.mount.Name, mt.index, err)
+			return
+		}
+		out = append(out, PatternJSON{
+			PatternSummaryJSON: summaryJSON(mt.mount.Name, mt.mount.Reader.Info(mt.index)),
+			Graph:              graphJSON(p.Graph),
+			TIDs:               append([]int{}, p.TIDs...),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"code": code, "matches": out})
+}
+
+func graphJSON(g *graph.Graph) GraphJSON {
+	out := GraphJSON{Name: g.Name, Vertices: []VertexJSON{}, Edges: []EdgeJSON{}}
+	for _, v := range g.Vertices() {
+		out.Vertices = append(out.Vertices, VertexJSON{ID: int(v), Label: g.Vertex(v).Label})
+	}
+	for _, e := range g.Edges() {
+		ed := g.Edge(e)
+		out.Edges = append(out.Edges, EdgeJSON{ID: int(e), From: int(ed.From), To: int(ed.To), Label: ed.Label})
+	}
+	return out
+}
+
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	matches := s.findCode(code)
+	if len(matches) == 0 {
+		writeError(w, http.StatusNotFound, "no pattern with code %q", code)
+		return
+	}
+	out := make([]SupportJSON, 0, len(matches))
+	maxSupport := 0
+	for _, mt := range matches {
+		p, err := mt.mount.Reader.PatternLite(mt.index)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "decode %s record %d: %v", mt.mount.Name, mt.index, err)
+			return
+		}
+		if p.Support > maxSupport {
+			maxSupport = p.Support
+		}
+		out = append(out, SupportJSON{
+			Store: mt.mount.Name, Index: mt.index, Code: p.Code,
+			Support: p.Support, TIDs: append([]int{}, p.TIDs...),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"code": code, "max_support": maxSupport, "matches": out,
+	})
+}
+
+func (s *Server) handleOccurrences(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	limit := 0 // per-transaction occurrence cap; 0 = all
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer, got %q", q)
+			return
+		}
+		limit = v
+	}
+	matches := s.findCode(code)
+	if len(matches) == 0 {
+		writeError(w, http.StatusNotFound, "no pattern with code %q", code)
+		return
+	}
+	// Occurrence decoding touches one transaction per TID — fan the
+	// matches out on the engine pool (a structural store holds one
+	// record per repetition).
+	out, err := engine.MapCtx(r.Context(), s.opts.Parallelism, len(matches),
+		func(ctx context.Context, i int) (RecordOccurrencesJSON, error) {
+			return s.decodeOccurrences(ctx, matches[i], limit)
+		})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"code": code, "matches": out})
+}
+
+func (s *Server) decodeOccurrences(ctx context.Context, mt match, limit int) (RecordOccurrencesJSON, error) {
+	var zero RecordOccurrencesJSON
+	rd := mt.mount.Reader
+	p, err := rd.Pattern(mt.index)
+	if err != nil {
+		return zero, err
+	}
+	out := RecordOccurrencesJSON{
+		Store:        mt.mount.Name,
+		Index:        mt.index,
+		Code:         p.Code,
+		Support:      p.Support,
+		Complete:     p.HasEmbeddings(),
+		Transactions: []TxnOccurrencesJSON{},
+	}
+	for i, tid := range p.TIDs {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		txn, err := rd.Transaction(tid)
+		if err != nil {
+			return zero, err
+		}
+		var list []OccurrenceJSON
+		if p.Embs != nil {
+			embs := p.Embs[i]
+			if limit > 0 && len(embs) > limit {
+				embs = embs[:limit]
+			}
+			list = make([]OccurrenceJSON, 0, len(embs))
+			for _, emb := range embs {
+				o, err := occurrenceJSON(txn, emb)
+				if err != nil {
+					return zero, fmt.Errorf("%s record %d tid %d: %w", mt.mount.Name, mt.index, tid, err)
+				}
+				list = append(list, o)
+			}
+		}
+		out.Transactions = append(out.Transactions, TxnOccurrencesJSON{
+			TID: tid, Transaction: txn.Name, Occurrences: list,
+		})
+	}
+	return out, nil
+}
+
+// occurrenceJSON decodes one embedding against its transaction. IDs
+// are validated rather than trusted: a store is external input, and
+// a record whose embeddings reference vertices or edges missing from
+// the transaction must surface as a corrupt-store error, not a
+// panic.
+func occurrenceJSON(txn *graph.Graph, emb iso.DenseEmbedding) (OccurrenceJSON, error) {
+	out := OccurrenceJSON{Vertices: []OccVertexJSON{}, Edges: []OccEdgeJSON{}}
+	for pv, tv := range emb.Verts {
+		if !txn.HasVertex(tv) {
+			return out, fmt.Errorf("corrupt store: embedding references missing vertex %d in %s", tv, txn.Name)
+		}
+		out.Vertices = append(out.Vertices, OccVertexJSON{
+			PatternVertex: pv, Vertex: int(tv), Label: txn.Vertex(tv).Label,
+		})
+	}
+	for pe, te := range emb.Edges {
+		if !txn.HasEdge(te) {
+			return out, fmt.Errorf("corrupt store: embedding references missing edge %d in %s", te, txn.Name)
+		}
+		ed := txn.Edge(te)
+		out.Edges = append(out.Edges, OccEdgeJSON{
+			PatternEdge: pe, Edge: int(te), From: int(ed.From), To: int(ed.To), Label: ed.Label,
+		})
+	}
+	return out, nil
+}
+
+// handleLocation scans every record of every mount for stored
+// embeddings touching a transaction vertex with the queried label —
+// the inverted "which patterns occur at this location?" view, fanned
+// out per record on the engine pool.
+func (s *Server) handleLocation(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("label")
+	out := LocationJSON{Label: label, Patterns: []LocationPatternJSON{}}
+	for _, m := range s.mounts {
+		m := m
+		n := m.Reader.NumPatterns()
+		hits, err := engine.MapCtx(r.Context(), s.opts.Parallelism, n,
+			func(ctx context.Context, i int) (*LocationPatternJSON, error) {
+				return s.scanLocation(ctx, m, i, label)
+			})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		for _, h := range hits {
+			if h == nil {
+				continue
+			}
+			if h.Occurrences < 0 {
+				out.PatternsWithoutEmbeddings++
+				continue
+			}
+			out.Patterns = append(out.Patterns, *h)
+		}
+	}
+	sort.SliceStable(out.Patterns, func(i, j int) bool {
+		return out.Patterns[i].Occurrences > out.Patterns[j].Occurrences
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// scanLocation checks one record against a location label. Returns
+// nil for a record whose embeddings never touch the label, and a
+// sentinel Occurrences == -1 for records with no stored lists (which
+// cannot be checked without re-matching).
+func (s *Server) scanLocation(ctx context.Context, m Mount, i int, label string) (*LocationPatternJSON, error) {
+	if m.Reader.Info(i).Embeddings == 0 {
+		return &LocationPatternJSON{Occurrences: -1}, nil
+	}
+	p, err := m.Reader.Pattern(i)
+	if err != nil {
+		return nil, err
+	}
+	occurrences := 0
+	var tids []int
+	for j, tid := range p.TIDs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if len(p.Embs[j]) == 0 {
+			continue
+		}
+		txn, err := m.Reader.Transaction(tid)
+		if err != nil {
+			return nil, err
+		}
+		hitTxn := false
+		for _, emb := range p.Embs[j] {
+			for _, tv := range emb.Verts {
+				if !txn.HasVertex(tv) {
+					return nil, fmt.Errorf("corrupt store: %s record %d references missing vertex %d in %s",
+						m.Name, i, tv, txn.Name)
+				}
+				if txn.Vertex(tv).Label == label {
+					occurrences++
+					hitTxn = true
+					break
+				}
+			}
+		}
+		if hitTxn {
+			tids = append(tids, tid)
+		}
+	}
+	if occurrences == 0 {
+		return nil, nil
+	}
+	info := m.Reader.Info(i)
+	return &LocationPatternJSON{
+		Store: m.Name, Index: i, Code: info.Code, Edges: info.Edges,
+		Support: info.Support, Occurrences: occurrences, TIDs: tids,
+	}, nil
+}

@@ -1,0 +1,23 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The returned cleanup unmaps; a
+// nil byte slice (with nil error) means the caller should fall back
+// to pread-style access.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Not fatal: some filesystems refuse mmap; ReadAt still works.
+		return nil, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// mmapFile reports no mapping on platforms without the syscall;
+// Reader falls back to pread-style access.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, nil
+}

@@ -1,0 +1,432 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/pattern"
+)
+
+// Reader serves random-access queries over one store file. Open
+// verifies magic, version, trailer and index checksum, loads only the
+// footer index (per-record offsets, codes, supports, level
+// directory), and memory-maps the body when the platform allows it —
+// pattern lookup by code is a map hit plus one record decode, and a
+// multi-gigabyte store opens without reading its body.
+//
+// Reader is safe for concurrent use: record decodes read the
+// immutable mapping (or pread), and the lazy transaction cache is
+// lock-protected. Decoded transactions are shared between callers and
+// must be treated as read-only (the graph label index is built for
+// exactly that sharing).
+type Reader struct {
+	path    string
+	f       *os.File
+	data    []byte // nil when mmap is unavailable
+	munmap  func() error
+	size    int64
+	meta    Meta
+	txnSpan []span
+	levels  []levelInfo
+	recs    []recInfo
+	byCode  map[string][]int
+
+	mu       sync.Mutex
+	txnCache []*graph.Graph
+}
+
+// Open validates and indexes a store file. A file whose writing run
+// died between checkpoints is rejected ("missing end marker") —
+// Recover salvages its completed checkpoints.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	size, err := checkHeader(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := readerAt(path, f, size, size)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Recover opens a store whose writing run may have died mid-write:
+// it scans backwards for the most recent intact footer (every
+// WriteTransactions/WriteLevel checkpoint ends with one) and serves
+// the store as of that checkpoint. On a cleanly Closed file it is
+// equivalent to Open.
+func Recover(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	size, err := checkHeader(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if r, err := readerAt(path, f, size, size); err == nil {
+		return r, nil
+	}
+	end, err := lastFooterEnd(f, size, size)
+	for err == nil && end > 0 {
+		if r, rerr := readerAt(path, f, size, end); rerr == nil {
+			return r, nil
+		}
+		// A false marker hit (magic bytes inside record data) or a
+		// damaged footer: keep scanning backwards.
+		end, err = lastFooterEnd(f, size, end-1)
+	}
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("store: %s: no intact checkpoint footer found — nothing to recover", path)
+}
+
+// checkHeader validates magic and version, returning the file size.
+func checkHeader(path string, f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	size := st.Size()
+	if size < int64(headerSize+trailerSize) {
+		return 0, fmt.Errorf("store: %s: file too short (%d bytes) to be a store", path, size)
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("store: read header of %s: %w", path, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return 0, fmt.Errorf("store: %s: bad magic %q (want %q) — not a store file", path, hdr[:len(magic)], magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[len(magic):]); v != FormatVersion {
+		return 0, fmt.Errorf("store: %s: unsupported format version %d (this build reads version %d)", path, v, FormatVersion)
+	}
+	return size, nil
+}
+
+// lastFooterEnd scans backwards from limit for the latest end-magic
+// occurrence that could terminate a footer, returning the logical
+// end (exclusive) of that candidate footer, or 0 when none remains.
+func lastFooterEnd(f *os.File, size, limit int64) (int64, error) {
+	const chunk = 64 << 10
+	em := []byte(endMagic)
+	hi := limit
+	if hi > size {
+		hi = size
+	}
+	for hi >= int64(headerSize+trailerSize) {
+		lo := hi - chunk
+		if lo < int64(headerSize) {
+			lo = int64(headerSize)
+		}
+		buf := make([]byte, hi-lo)
+		if _, err := f.ReadAt(buf, lo); err != nil {
+			return 0, fmt.Errorf("store: recovery scan: %w", err)
+		}
+		for i := len(buf) - len(em); i >= 0; i-- {
+			if string(buf[i:i+len(em)]) == endMagic {
+				end := lo + int64(i) + int64(len(em))
+				if end >= int64(headerSize+trailerSize) {
+					return end, nil
+				}
+			}
+		}
+		if lo == int64(headerSize) {
+			break
+		}
+		// Overlap by len(em)-1 so a marker straddling chunks is seen.
+		hi = lo + int64(len(em)) - 1
+	}
+	return 0, nil
+}
+
+// readerAt builds a reader over the store whose footer ends at
+// logicalEnd (== fileSize for a cleanly closed store; earlier for a
+// recovered checkpoint). All offsets are validated against
+// logicalEnd, wraparound included.
+func readerAt(path string, f *os.File, fileSize, logicalEnd int64) (*Reader, error) {
+	if logicalEnd < int64(headerSize+trailerSize) || logicalEnd > fileSize {
+		return nil, fmt.Errorf("store: %s: invalid footer position %d", path, logicalEnd)
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], logicalEnd-int64(trailerSize)); err != nil {
+		return nil, fmt.Errorf("store: read trailer of %s: %w", path, err)
+	}
+	if string(tr[20:]) != endMagic {
+		return nil, fmt.Errorf("store: %s: missing end marker — the writing run died between checkpoints (try Recover)", path)
+	}
+	idxOff := binary.LittleEndian.Uint64(tr[0:])
+	idxLen := binary.LittleEndian.Uint64(tr[8:])
+	idxCRC := binary.LittleEndian.Uint32(tr[16:])
+	idxEnd := uint64(logicalEnd - int64(trailerSize))
+	if idxOff < uint64(headerSize) || idxLen > idxEnd || idxOff != idxEnd-idxLen {
+		return nil, fmt.Errorf("store: %s: corrupt trailer (index %d+%d, footer at %d)", path, idxOff, idxLen, logicalEnd)
+	}
+	idx := make([]byte, idxLen)
+	if _, err := f.ReadAt(idx, int64(idxOff)); err != nil {
+		return nil, fmt.Errorf("store: read index of %s: %w", path, err)
+	}
+	if crc := crc32.ChecksumIEEE(idx); crc != idxCRC {
+		return nil, fmt.Errorf("store: %s: index checksum mismatch (file %08x, computed %08x) — corrupt store", path, idxCRC, crc)
+	}
+	r := &Reader{path: path, f: f, size: int64(idxOff)}
+	if err := r.parseIndex(idx); err != nil {
+		return nil, err
+	}
+	data, munmap, err := mmapFile(f, fileSize)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	r.data, r.munmap = data, munmap
+	r.txnCache = make([]*graph.Graph, len(r.txnSpan))
+	r.byCode = make(map[string][]int, len(r.recs))
+	for i := range r.recs {
+		r.byCode[r.recs[i].code] = append(r.byCode[r.recs[i].code], i)
+	}
+	return r, nil
+}
+
+func (r *Reader) parseIndex(idx []byte) error {
+	d := &dec{buf: idx}
+	metaJSON := d.str()
+	if d.err == nil {
+		if err := json.Unmarshal([]byte(metaJSON), &r.meta); err != nil {
+			return fmt.Errorf("store: %s: corrupt meta block: %w", r.path, err)
+		}
+	}
+	numTxns := d.count()
+	if d.err == nil && numTxns > 0 {
+		r.txnSpan = make([]span, numTxns)
+		for i := range r.txnSpan {
+			r.txnSpan[i] = span{off: d.uvarint(), len: d.uvarint()}
+		}
+	}
+	numLevels := d.count()
+	for l := 0; l < numLevels && d.err == nil; l++ {
+		lv := levelInfo{edges: int(d.uvarint()), start: len(r.recs), count: d.count()}
+		for i := 0; i < lv.count && d.err == nil; i++ {
+			r.recs = append(r.recs, recInfo{
+				span:       span{off: d.uvarint(), len: d.uvarint()},
+				code:       d.str(),
+				support:    uint32(d.uvarint()),
+				embeddings: uint32(d.uvarint()),
+				flags:      d.byte(),
+			})
+		}
+		r.levels = append(r.levels, lv)
+	}
+	if err := d.done(); err != nil {
+		return fmt.Errorf("store: %s: corrupt index: %w", r.path, err)
+	}
+	// Bounds checks are subtraction-form so an adversarial offset
+	// cannot wrap uint64 past the limit. r.size is the index start:
+	// every record the index describes precedes the index itself.
+	limit := uint64(r.size)
+	for i := range r.recs {
+		if s := r.recs[i].span; s.len > limit || s.off > limit-s.len {
+			return fmt.Errorf("store: %s: corrupt index (record beyond file end)", r.path)
+		}
+	}
+	for i := range r.txnSpan {
+		if s := r.txnSpan[i]; s.len > limit || s.off > limit-s.len {
+			return fmt.Errorf("store: %s: corrupt index (transaction beyond file end)", r.path)
+		}
+	}
+	return nil
+}
+
+// Close releases the mapping and the file handle.
+func (r *Reader) Close() error {
+	var err error
+	if r.munmap != nil {
+		err = r.munmap()
+		r.munmap = nil
+	}
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Path returns the file path the reader was opened from.
+func (r *Reader) Path() string { return r.path }
+
+// Meta returns the run-level metadata persisted with the store.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// NumTransactions returns the size of the stored transaction set.
+func (r *Reader) NumTransactions() int { return len(r.txnSpan) }
+
+// NumPatterns returns the total number of pattern records.
+func (r *Reader) NumPatterns() int { return len(r.recs) }
+
+// Levels lists the stored mining levels in ascending edge order.
+func (r *Reader) Levels() []LevelInfo {
+	out := make([]LevelInfo, len(r.levels))
+	for i, lv := range r.levels {
+		out[i] = LevelInfo{Edges: lv.edges, Patterns: lv.count}
+	}
+	return out
+}
+
+// LevelRange returns the global record index range [start, end) of
+// the level with the given edge count (0, 0 when absent).
+func (r *Reader) LevelRange(edges int) (start, end int) {
+	for _, lv := range r.levels {
+		if lv.edges == edges {
+			return lv.start, lv.start + lv.count
+		}
+	}
+	return 0, 0
+}
+
+// PatternInfo is the decoded footer-index entry of one record: the
+// queryable facts that need no record decode.
+type PatternInfo struct {
+	// Index is the global record index (Pattern's argument).
+	Index int
+	// Edges is the record's level.
+	Edges int
+	// Code is the pattern's isomorphism-invariant code.
+	Code string
+	// Support is the stored support count.
+	Support int
+	// Embeddings is the number of stored embeddings across TIDs.
+	Embeddings int
+	// HasEmbeddings reports complete per-TID lists (not seeds).
+	HasEmbeddings bool
+	// Overflowed mirrors pattern.Pattern.Overflowed.
+	Overflowed bool
+}
+
+// Info returns the index entry of record i without touching the
+// file body.
+func (r *Reader) Info(i int) PatternInfo {
+	rec := &r.recs[i]
+	return PatternInfo{
+		Index:         i,
+		Edges:         r.edgesOf(i),
+		Code:          rec.code,
+		Support:       int(rec.support),
+		Embeddings:    int(rec.embeddings),
+		HasEmbeddings: rec.flags&flagHasEmbs != 0 && rec.flags&flagOverflowed == 0,
+		Overflowed:    rec.flags&flagOverflowed != 0,
+	}
+}
+
+func (r *Reader) edgesOf(i int) int {
+	for _, lv := range r.levels {
+		if i >= lv.start && i < lv.start+lv.count {
+			return lv.edges
+		}
+	}
+	return 0
+}
+
+// FindByCode returns the global record indices whose code equals the
+// given code, in store order. Approximate codes ("~" prefix) may
+// collide between non-isomorphic patterns, and Algorithm 1 stores
+// keep one record per repetition — callers that need one specific
+// graph disambiguate with pattern.SameGraph.
+func (r *Reader) FindByCode(code string) []int {
+	return r.byCode[code]
+}
+
+// readSpan returns the bytes of one record: a sub-slice of the
+// mapping when mapped (zero copy), a fresh pread buffer otherwise.
+func (r *Reader) readSpan(s span) ([]byte, error) {
+	if r.data != nil {
+		return r.data[s.off : s.off+s.len : s.off+s.len], nil
+	}
+	buf := make([]byte, s.len)
+	if _, err := r.f.ReadAt(buf, int64(s.off)); err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", r.path, err)
+	}
+	return buf, nil
+}
+
+// Pattern decodes record i in full: graph, code, TID list and
+// embedding lists.
+func (r *Reader) Pattern(i int) (*pattern.Pattern, error) {
+	if i < 0 || i >= len(r.recs) {
+		return nil, fmt.Errorf("store: pattern index %d out of range [0, %d)", i, len(r.recs))
+	}
+	buf, err := r.readSpan(r.recs[i].span)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{buf: buf}
+	p := decodePattern(d)
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("store: %s record %d: %w", r.path, i, err)
+	}
+	return p, nil
+}
+
+// PatternLite decodes record i without its embedding section — the
+// cheap path for support/TID queries, which pays the graph + TID
+// decode only (embedding runs dominate a record's bytes). The
+// returned Pattern has Embs nil regardless of what is stored; use
+// Info(i).Embeddings for the stored count and Pattern(i) for the
+// lists.
+func (r *Reader) PatternLite(i int) (*pattern.Pattern, error) {
+	if i < 0 || i >= len(r.recs) {
+		return nil, fmt.Errorf("store: pattern index %d out of range [0, %d)", i, len(r.recs))
+	}
+	buf, err := r.readSpan(r.recs[i].span)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{buf: buf}
+	p, _ := decodePatternHead(d)
+	if d.err != nil {
+		return nil, fmt.Errorf("store: %s record %d: %w", r.path, i, d.err)
+	}
+	return p, nil
+}
+
+// Transaction decodes transaction tid, caching the result; repeated
+// occurrence queries over the same transactions decode each once.
+// The returned graph is shared — treat it as read-only.
+func (r *Reader) Transaction(tid int) (*graph.Graph, error) {
+	if tid < 0 || tid >= len(r.txnSpan) {
+		return nil, fmt.Errorf("store: transaction %d out of range [0, %d)", tid, len(r.txnSpan))
+	}
+	r.mu.Lock()
+	if g := r.txnCache[tid]; g != nil {
+		r.mu.Unlock()
+		return g, nil
+	}
+	r.mu.Unlock()
+	buf, err := r.readSpan(r.txnSpan[tid])
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{buf: buf}
+	g := decodeGraph(d)
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("store: %s transaction %d: %w", r.path, tid, err)
+	}
+	r.mu.Lock()
+	if cached := r.txnCache[tid]; cached != nil {
+		g = cached // a racing decode won; share one instance
+	} else {
+		r.txnCache[tid] = g
+	}
+	r.mu.Unlock()
+	return g, nil
+}

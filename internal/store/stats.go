@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// LevelStats aggregates one stored level from the footer index alone
+// (no record decodes).
+type LevelStats struct {
+	Edges      int
+	Patterns   int
+	MinSupport int
+	MaxSupport int
+	SumSupport int
+	Embeddings int
+	// Complete counts patterns with complete embedding lists;
+	// Seeded counts overflowed patterns that kept warm-start seeds;
+	// Bare counts patterns with no lists at all.
+	Complete, Seeded, Bare int
+}
+
+// Stats is the whole-store statistics report backing `tndstats
+// -store`.
+type Stats struct {
+	Path         string
+	Meta         Meta
+	Transactions int
+	Patterns     int
+	Embeddings   int
+	Levels       []LevelStats
+}
+
+// ReadStats aggregates a store's index into a statistics report.
+func ReadStats(r *Reader) Stats {
+	st := Stats{
+		Path:         r.Path(),
+		Meta:         r.Meta(),
+		Transactions: r.NumTransactions(),
+		Patterns:     r.NumPatterns(),
+	}
+	for _, lv := range r.levels {
+		ls := LevelStats{Edges: lv.edges, Patterns: lv.count}
+		for i := lv.start; i < lv.start+lv.count; i++ {
+			info := r.Info(i)
+			if ls.MinSupport == 0 || info.Support < ls.MinSupport {
+				ls.MinSupport = info.Support
+			}
+			if info.Support > ls.MaxSupport {
+				ls.MaxSupport = info.Support
+			}
+			ls.SumSupport += info.Support
+			ls.Embeddings += info.Embeddings
+			switch {
+			case info.HasEmbeddings:
+				ls.Complete++
+			case info.Overflowed && info.Embeddings > 0:
+				ls.Seeded++
+			default:
+				ls.Bare++
+			}
+		}
+		st.Embeddings += ls.Embeddings
+		st.Levels = append(st.Levels, ls)
+	}
+	return st
+}
+
+// String renders the report in the repository's table style.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Store: %s ===\n", s.Path)
+	m := s.Meta
+	fmt.Fprintf(&b, "kind=%s name=%q min-support=%d", orUnset(m.Kind), m.Name, m.MinSupport)
+	if m.CreatedUnix != 0 {
+		fmt.Fprintf(&b, " created=%s", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	}
+	b.WriteByte('\n')
+	if m.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", m.Note)
+	}
+	fmt.Fprintf(&b, "transactions=%d patterns=%d stored embeddings=%d\n",
+		s.Transactions, s.Patterns, s.Embeddings)
+	if len(s.Levels) == 0 {
+		return b.String()
+	}
+	b.WriteString("edges  patterns  support(min/avg/max)  embeddings  complete  seeded  bare\n")
+	for _, lv := range s.Levels {
+		avg := 0.0
+		if lv.Patterns > 0 {
+			avg = float64(lv.SumSupport) / float64(lv.Patterns)
+		}
+		fmt.Fprintf(&b, "%5d  %8d  %8d/%6.1f/%4d  %10d  %8d  %6d  %4d\n",
+			lv.Edges, lv.Patterns, lv.MinSupport, avg, lv.MaxSupport,
+			lv.Embeddings, lv.Complete, lv.Seeded, lv.Bare)
+	}
+	return b.String()
+}
+
+func orUnset(s string) string {
+	if s == "" {
+		return "unset"
+	}
+	return s
+}

@@ -1,0 +1,404 @@
+// Package store is the on-disk persistence layer for mined patterns
+// and their embeddings: a versioned binary file format that holds a
+// transaction set together with level-ordered pattern records
+// (pattern graph, isomorphism-invariant code, TID list, dense per-TID
+// embedding lists — the internal/pattern representation, whose flat
+// dense arrays are already serialisation-shaped).
+//
+// The format is built for the two access patterns the ROADMAP's
+// serving layer needs:
+//
+//   - Streaming writes. A mining run checkpoints each Apriori level
+//     as it completes (fsg.Options.Checkpoint): Writer appends the
+//     level's records and then a fresh footer, flushing both, so at
+//     every point between checkpoints the file ends with a valid
+//     trailer describing everything written so far. A run that dies
+//     mid-level leaves a file Open rejects (its tail is a partial
+//     record, not a trailer) but Recover salvages: it scans back to
+//     the last intact footer and serves the store as of that
+//     checkpoint. Superseded footers become small dead gaps in the
+//     body that no index entry references.
+//   - Random reads. Reader memory-maps the file (falling back to
+//     pread on platforms without mmap) and loads only the footer
+//     index at Open: per-record offsets, codes, supports and level
+//     directory. Pattern lookup by code is a map hit plus one record
+//     decode; nothing else is read. Transactions decode lazily and
+//     are cached, so "where does pattern P occur?" is answered from
+//     the stored embeddings without ever re-running an isomorphism
+//     search.
+//
+// File layout (all integers little-endian or uvarint):
+//
+//	header   magic "TNDSTOR1" (8 bytes) | format version (uint32)
+//	body     transaction records, then pattern records in level order
+//	         (with a superseded footer after each checkpoint)
+//	index    meta JSON | transaction spans | level directory with
+//	         per-record (offset, length, code, support, embeddings,
+//	         flags)
+//	trailer  index offset (uint64) | index length (uint64) |
+//	         index CRC-32 (uint32) | end magic "TNDSTEND"
+//
+// Wrong magic, unknown version, a missing trailer or a CRC mismatch
+// all fail Open with a clear error — never a garbage decode.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+	"tnkd/internal/pattern"
+)
+
+const (
+	// magic opens every store file: 7 identifying bytes plus a
+	// format-generation digit.
+	magic = "TNDSTOR1"
+	// endMagic closes every complete store file; its absence means
+	// the writing run died before Close.
+	endMagic = "TNDSTEND"
+	// FormatVersion is the current format version. Readers reject
+	// any other value.
+	FormatVersion = 1
+
+	headerSize  = len(magic) + 4
+	trailerSize = 8 + 8 + 4 + len(endMagic)
+)
+
+// Meta is the run-level metadata persisted with a store. It is JSON
+// in the index block, so fields can grow without a format-version
+// bump.
+type Meta struct {
+	// Name identifies the mined input (e.g. the source graph name).
+	Name string `json:"name,omitempty"`
+	// Kind is the pipeline that produced the store: "fsg",
+	// "structural" (Algorithm 1; transactions are the concatenated
+	// partitionings of every repetition, pattern TIDs offset per
+	// repetition) or "temporal" (Section 6 per-day transactions).
+	Kind string `json:"kind,omitempty"`
+	// MinSupport is the absolute support threshold of the run.
+	MinSupport int `json:"min_support,omitempty"`
+	// CreatedUnix is the write time in Unix seconds.
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+	// Note carries free-form provenance (repetition layout, abort
+	// reasons, ...).
+	Note string `json:"note,omitempty"`
+}
+
+// pattern record flags.
+const (
+	flagHasEmbs    = 1 << 0 // Embs lists present (complete or seeds)
+	flagOverflowed = 1 << 1 // lists are seeds / absent, not complete
+)
+
+// span locates one record in the file body.
+type span struct {
+	off, len uint64
+}
+
+// recInfo is the footer index entry of one pattern record: enough to
+// answer listing, support and statistics queries without decoding the
+// record itself.
+type recInfo struct {
+	span
+	code       string
+	support    uint32
+	embeddings uint32
+	flags      byte
+}
+
+// levelInfo is one level-directory entry: level-ordered records
+// [start, start+count) in global record order.
+type levelInfo struct {
+	edges int
+	start int
+	count int
+}
+
+// LevelInfo describes one stored mining level (JSON-tagged: it is
+// served verbatim by internal/serve).
+type LevelInfo struct {
+	// Edges is the pattern size of the level.
+	Edges int `json:"edges"`
+	// Patterns is the number of pattern records in the level.
+	Patterns int `json:"patterns"`
+}
+
+// --- encoding primitives ---
+
+// enc is an append-only encode buffer.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *enc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// dec decodes from a byte slice, latching the first error so callers
+// can decode a whole structure and check once.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("store: truncated record (byte at %d/%d)", d.off, len(d.buf))
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("store: truncated record (uvarint at %d/%d)", d.off, len(d.buf))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a uvarint length and bounds it by the remaining bytes
+// (each element costs at least one byte), so corrupt lengths fail
+// cleanly instead of attempting a huge allocation.
+func (d *dec) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(len(d.buf)-d.off) {
+		d.fail("store: corrupt record (count %d exceeds %d remaining bytes)", v, len(d.buf)-d.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("store: %d trailing bytes after record", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// --- graph codec ---
+
+// encodeGraph serialises g with its ID space intact: tombstoned
+// vertex and edge slots are preserved as dead markers, so decoded
+// graphs carry identical IDs and stored embeddings (which reference
+// transaction vertex/edge IDs) stay valid.
+func encodeGraph(e *enc, g *graph.Graph) {
+	e.str(g.Name)
+	vcap := g.VertexCap()
+	e.uvarint(uint64(vcap))
+	for id := 0; id < vcap; id++ {
+		if g.HasVertex(graph.VertexID(id)) {
+			e.byte(1)
+			e.str(g.Vertex(graph.VertexID(id)).Label)
+		} else {
+			e.byte(0)
+		}
+	}
+	ecap := g.EdgeCap()
+	e.uvarint(uint64(ecap))
+	for id := 0; id < ecap; id++ {
+		if g.HasEdge(graph.EdgeID(id)) {
+			ed := g.Edge(graph.EdgeID(id))
+			e.byte(1)
+			e.uvarint(uint64(ed.From))
+			e.uvarint(uint64(ed.To))
+			e.str(ed.Label)
+		} else {
+			e.byte(0)
+		}
+	}
+}
+
+// decodeGraph rebuilds a graph slot by slot. Dead slots are recreated
+// by adding a placeholder and removing it, which reproduces the
+// original dense ID assignment exactly; a dead edge's endpoints are
+// unobservable through the graph API, so the placeholder wiring is
+// semantically identical to the original.
+func decodeGraph(d *dec) *graph.Graph {
+	g := graph.New(d.str())
+	vcap := d.count()
+	var deadV []graph.VertexID
+	for i := 0; i < vcap; i++ {
+		if d.byte() == 1 {
+			g.AddVertex(d.str())
+		} else {
+			deadV = append(deadV, g.AddVertex(""))
+		}
+		if d.err != nil {
+			return nil
+		}
+	}
+	ecap := d.count()
+	var deadE []graph.EdgeID
+	for i := 0; i < ecap; i++ {
+		if d.byte() == 1 {
+			from, to := int(d.uvarint()), int(d.uvarint())
+			label := d.str()
+			if d.err != nil {
+				return nil
+			}
+			if from >= vcap || to >= vcap {
+				d.fail("store: corrupt graph record (edge endpoint %d/%d beyond %d vertices)", from, to, vcap)
+				return nil
+			}
+			g.AddEdge(graph.VertexID(from), graph.VertexID(to), label)
+		} else {
+			if vcap == 0 {
+				d.fail("store: corrupt graph record (dead edge slot in vertex-less graph)")
+				return nil
+			}
+			deadE = append(deadE, g.AddEdge(0, 0, ""))
+		}
+	}
+	for _, id := range deadE {
+		g.RemoveEdge(id)
+	}
+	for _, id := range deadV {
+		g.RemoveVertex(id)
+	}
+	return g
+}
+
+// --- pattern codec ---
+
+// encodePattern serialises one pattern record. TIDs are
+// delta-encoded (they are ascending by the Pattern invariant, which
+// the Writer validates); embedding lists are written as flat uvarint
+// runs, one list per TID.
+func encodePattern(e *enc, p *pattern.Pattern) {
+	encodeGraph(e, p.Graph)
+	e.str(p.Code)
+	e.uvarint(uint64(p.Support))
+	e.uvarint(uint64(len(p.TIDs)))
+	prev := 0
+	for _, tid := range p.TIDs {
+		e.uvarint(uint64(tid - prev))
+		prev = tid
+	}
+	var flags byte
+	if p.Embs != nil {
+		flags |= flagHasEmbs
+	}
+	if p.Overflowed {
+		flags |= flagOverflowed
+	}
+	e.byte(flags)
+	if p.Embs == nil {
+		return
+	}
+	for _, list := range p.Embs {
+		e.uvarint(uint64(len(list)))
+		for _, emb := range list {
+			e.uvarint(uint64(len(emb.Verts)))
+			for _, v := range emb.Verts {
+				e.uvarint(uint64(v))
+			}
+			e.uvarint(uint64(len(emb.Edges)))
+			for _, ed := range emb.Edges {
+				e.uvarint(uint64(ed))
+			}
+		}
+	}
+}
+
+// decodePatternHead rebuilds everything up to and including the
+// flags byte — graph, code, support, TID list — leaving the decoder
+// positioned at the embedding section (if the flags announce one).
+func decodePatternHead(d *dec) (*pattern.Pattern, byte) {
+	p := &pattern.Pattern{Graph: decodeGraph(d)}
+	p.Code = d.str()
+	p.Support = int(d.uvarint())
+	n := d.count()
+	if d.err != nil {
+		return nil, 0
+	}
+	if n > 0 {
+		p.TIDs = make([]int, n)
+		prev := 0
+		for i := range p.TIDs {
+			prev += int(d.uvarint())
+			p.TIDs[i] = prev
+		}
+	}
+	flags := d.byte()
+	p.Overflowed = flags&flagOverflowed != 0
+	return p, flags
+}
+
+// decodePattern rebuilds one pattern record. Per-TID lists written
+// empty decode as nil slots inside a non-nil Embs, preserving the
+// HasSeeds/HasEmbeddings semantics of the in-memory store.
+func decodePattern(d *dec) *pattern.Pattern {
+	p, flags := decodePatternHead(d)
+	if p == nil || flags&flagHasEmbs == 0 || d.err != nil {
+		return p
+	}
+	n := len(p.TIDs)
+	p.Embs = make([][]iso.DenseEmbedding, n)
+	for i := range p.Embs {
+		cnt := d.count()
+		if d.err != nil {
+			return nil
+		}
+		if cnt == 0 {
+			continue
+		}
+		list := make([]iso.DenseEmbedding, cnt)
+		for j := range list {
+			nv := d.count()
+			if d.err != nil {
+				return nil
+			}
+			verts := make([]graph.VertexID, nv)
+			for k := range verts {
+				verts[k] = graph.VertexID(d.uvarint())
+			}
+			ne := d.count()
+			if d.err != nil {
+				return nil
+			}
+			edges := make([]graph.EdgeID, ne)
+			for k := range edges {
+				edges[k] = graph.EdgeID(d.uvarint())
+			}
+			list[j] = iso.DenseEmbedding{Verts: verts, Edges: edges}
+		}
+		p.Embs[i] = list
+	}
+	return p
+}

@@ -1,0 +1,606 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/iso"
+	"tnkd/internal/pattern"
+)
+
+// --- helpers ---
+
+func tmpStore(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.tnd")
+}
+
+// randGraph builds a random connected-ish dense graph.
+func randGraph(rng *rand.Rand, name string) *graph.Graph {
+	g := graph.New(name)
+	nv := 1 + rng.Intn(6)
+	for i := 0; i < nv; i++ {
+		g.AddVertex(fmt.Sprintf("L%d", rng.Intn(4)))
+	}
+	ne := rng.Intn(8)
+	for i := 0; i < ne; i++ {
+		g.AddEdge(graph.VertexID(rng.Intn(nv)), graph.VertexID(rng.Intn(nv)),
+			fmt.Sprintf("w%d", rng.Intn(3)))
+	}
+	return g
+}
+
+// randPattern builds a random pattern record exercising every flag
+// combination: nil lists, seed lists, complete lists, empty per-TID
+// lists, exact and "~"-approximate codes.
+func randPattern(rng *rand.Rand, edges, numTxns int) pattern.Pattern {
+	g := graph.New("pat")
+	nv := 1 + rng.Intn(4)
+	for i := 0; i < nv; i++ {
+		g.AddVertex(fmt.Sprintf("L%d", rng.Intn(3)))
+	}
+	for i := 0; i < edges; i++ {
+		g.AddEdge(graph.VertexID(rng.Intn(nv)), graph.VertexID(rng.Intn(nv)), "e")
+	}
+	code := fmt.Sprintf("~%x", rng.Uint64()) // fsg-style approximate code
+	if rng.Intn(3) == 0 {
+		code = fmt.Sprintf("v%d:exact(%d)", nv, rng.Intn(100)) // exact-style code
+	}
+	var tids []int
+	for t := 0; t < numTxns; t++ {
+		if rng.Intn(2) == 0 {
+			tids = append(tids, t)
+		}
+	}
+	if len(tids) == 0 {
+		tids = []int{rng.Intn(numTxns)}
+	}
+	p := pattern.Pattern{Graph: g, Code: code, Support: len(tids), TIDs: tids}
+	switch rng.Intn(4) {
+	case 0: // no lists, overflowed (DropEmbeddings shape)
+		p.Overflowed = true
+	case 1: // complete lists, possibly with empty per-TID slots
+		p.Embs = randEmbs(rng, len(tids), nv, edges, true)
+	case 2: // seed lists (budget-overflowed pattern)
+		p.Embs = randEmbs(rng, len(tids), nv, edges, false)
+		p.Overflowed = true
+	case 3: // non-overflowed with no lists at all (level untracked)
+	}
+	return p
+}
+
+func randEmbs(rng *rand.Rand, n, nv, ne int, allowEmpty bool) [][]iso.DenseEmbedding {
+	out := make([][]iso.DenseEmbedding, n)
+	for i := range out {
+		cnt := rng.Intn(4)
+		if !allowEmpty && cnt == 0 {
+			cnt = 1
+		}
+		for j := 0; j < cnt; j++ {
+			verts := make([]graph.VertexID, nv)
+			for k := range verts {
+				verts[k] = graph.VertexID(rng.Intn(50))
+			}
+			edges := make([]graph.EdgeID, ne)
+			for k := range edges {
+				edges[k] = graph.EdgeID(rng.Intn(80))
+			}
+			out[i] = append(out[i], iso.DenseEmbedding{Verts: verts, Edges: edges})
+		}
+	}
+	return out
+}
+
+// sameGraphBytes compares two graphs by full observable state: name,
+// caps, live sets, labels and wiring.
+func sameGraphBytes(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	if want.Name != got.Name {
+		t.Fatalf("graph name %q != %q", got.Name, want.Name)
+	}
+	if want.VertexCap() != got.VertexCap() || want.EdgeCap() != got.EdgeCap() {
+		t.Fatalf("caps (%d,%d) != (%d,%d)", got.VertexCap(), got.EdgeCap(), want.VertexCap(), want.EdgeCap())
+	}
+	for id := 0; id < want.VertexCap(); id++ {
+		v := graph.VertexID(id)
+		if want.HasVertex(v) != got.HasVertex(v) {
+			t.Fatalf("vertex %d liveness mismatch", id)
+		}
+		if want.HasVertex(v) && want.Vertex(v).Label != got.Vertex(v).Label {
+			t.Fatalf("vertex %d label %q != %q", id, got.Vertex(v).Label, want.Vertex(v).Label)
+		}
+	}
+	for id := 0; id < want.EdgeCap(); id++ {
+		e := graph.EdgeID(id)
+		if want.HasEdge(e) != got.HasEdge(e) {
+			t.Fatalf("edge %d liveness mismatch", id)
+		}
+		if want.HasEdge(e) && want.Edge(e) != got.Edge(e) {
+			t.Fatalf("edge %d %+v != %+v", id, got.Edge(e), want.Edge(e))
+		}
+	}
+}
+
+func samePattern(t *testing.T, want, got *pattern.Pattern) {
+	t.Helper()
+	sameGraphBytes(t, want.Graph, got.Graph)
+	if want.Code != got.Code {
+		t.Fatalf("code %q != %q", got.Code, want.Code)
+	}
+	if want.Support != got.Support {
+		t.Fatalf("support %d != %d", got.Support, want.Support)
+	}
+	if !reflect.DeepEqual(normTIDs(want.TIDs), normTIDs(got.TIDs)) {
+		t.Fatalf("TIDs %v != %v", got.TIDs, want.TIDs)
+	}
+	if want.Overflowed != got.Overflowed {
+		t.Fatalf("overflowed %v != %v", got.Overflowed, want.Overflowed)
+	}
+	if (want.Embs == nil) != (got.Embs == nil) {
+		t.Fatalf("embs presence %v != %v", got.Embs != nil, want.Embs != nil)
+	}
+	if want.Embs == nil {
+		return
+	}
+	if len(want.Embs) != len(got.Embs) {
+		t.Fatalf("embs lists %d != %d", len(got.Embs), len(want.Embs))
+	}
+	for i := range want.Embs {
+		if len(want.Embs[i]) != len(got.Embs[i]) {
+			t.Fatalf("embs[%d] len %d != %d", i, len(got.Embs[i]), len(want.Embs[i]))
+		}
+		for j := range want.Embs[i] {
+			if !reflect.DeepEqual(want.Embs[i][j], got.Embs[i][j]) {
+				t.Fatalf("embs[%d][%d] %+v != %+v", i, j, got.Embs[i][j], want.Embs[i][j])
+			}
+		}
+	}
+}
+
+func normTIDs(tids []int) []int {
+	if len(tids) == 0 {
+		return nil
+	}
+	return tids
+}
+
+// writeStore persists txns + levels and returns the path.
+func writeStore(t *testing.T, path string, meta Meta, txns []*graph.Graph, levels map[int][]pattern.Pattern) {
+	t.Helper()
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTransactions(txns); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteLevels(levels); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- round-trip property tests ---
+
+// TestRoundTripProperty drives the codec with randomised patterns
+// covering every storage shape: save→load must reproduce
+// byte-identical graphs, codes, TID lists and dense embeddings,
+// including "~"-approximate codes and budget-overflowed patterns with
+// empty or absent lists.
+func TestRoundTripProperty(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		numTxns := 1 + rng.Intn(6)
+		txns := make([]*graph.Graph, numTxns)
+		for i := range txns {
+			txns[i] = randGraph(rng, fmt.Sprintf("txn%d", i))
+		}
+		levels := map[int][]pattern.Pattern{}
+		for _, edges := range []int{1, 2, 3} {
+			n := rng.Intn(5)
+			for i := 0; i < n; i++ {
+				levels[edges] = append(levels[edges], randPattern(rng, edges, numTxns))
+			}
+			if len(levels[edges]) == 0 {
+				delete(levels, edges)
+			}
+		}
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("trial%d.tnd", trial))
+		meta := Meta{Name: "prop", Kind: "fsg", MinSupport: 1, Note: "round-trip property"}
+		writeStore(t, path, meta, txns, levels)
+
+		r, err := Open(path)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.NumTransactions() != numTxns {
+			t.Fatalf("trial %d: %d transactions, want %d", trial, r.NumTransactions(), numTxns)
+		}
+		if got := r.Meta(); got.Name != meta.Name || got.Kind != meta.Kind || got.Note != meta.Note {
+			t.Fatalf("trial %d: meta %+v != %+v", trial, got, meta)
+		}
+		for i, want := range txns {
+			got, err := r.Transaction(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGraphBytes(t, want, got)
+			// Cached second read returns the same instance.
+			again, _ := r.Transaction(i)
+			if again != got {
+				t.Fatalf("trial %d: transaction %d not cached", trial, i)
+			}
+		}
+		idx := 0
+		for _, edges := range sortedLevelEdges(levels) {
+			start, end := r.LevelRange(edges)
+			if end-start != len(levels[edges]) {
+				t.Fatalf("trial %d: level %d has %d records, want %d", trial, edges, end-start, len(levels[edges]))
+			}
+			for i := range levels[edges] {
+				want := &levels[edges][i]
+				got, err := r.Pattern(start + i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePattern(t, want, got)
+				// The embedding-skipping decode agrees on everything
+				// before the embedding section.
+				lite, err := r.PatternLite(start + i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lite.Code != want.Code || lite.Support != want.Support ||
+					!reflect.DeepEqual(normTIDs(lite.TIDs), normTIDs(want.TIDs)) ||
+					lite.Overflowed != want.Overflowed || lite.Embs != nil {
+					t.Fatalf("trial %d: PatternLite diverged: %+v", trial, lite)
+				}
+				sameGraphBytes(t, want.Graph, lite.Graph)
+				info := r.Info(start + i)
+				if info.Code != want.Code || info.Support != want.Support ||
+					info.Edges != edges || info.Embeddings != want.NumEmbeddings() ||
+					info.HasEmbeddings != want.HasEmbeddings() || info.Overflowed != want.Overflowed {
+					t.Fatalf("trial %d: index entry %+v does not match pattern", trial, info)
+				}
+				found := false
+				for _, ri := range r.FindByCode(want.Code) {
+					if ri == start+i {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: code %q not indexed to record %d", trial, want.Code, start+i)
+				}
+				idx++
+			}
+		}
+		if idx != r.NumPatterns() {
+			t.Fatalf("trial %d: walked %d records, store has %d", trial, idx, r.NumPatterns())
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRoundTripTombstonedGraph checks that graphs with removed
+// vertices and edges (tombstoned ID slots) survive the codec with
+// their ID space intact — the property stored embeddings depend on.
+func TestRoundTripTombstonedGraph(t *testing.T) {
+	g := graph.New("tomb")
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("C")
+	e0 := g.AddEdge(a, b, "x")
+	g.AddEdge(b, c, "y")
+	g.AddEdge(c, a, "z")
+	g.RemoveEdge(e0)
+	g.RemoveVertex(a) // also tombstones edge c->a
+	path := tmpStore(t)
+	writeStore(t, path, Meta{}, []*graph.Graph{g}, nil)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.Transaction(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraphBytes(t, g, got)
+	if got.Dump() != g.Dump() {
+		t.Fatalf("dump mismatch:\n%s\nvs\n%s", got.Dump(), g.Dump())
+	}
+}
+
+// TestEmptyStore: a store with no transactions and no levels is valid.
+func TestEmptyStore(t *testing.T) {
+	path := tmpStore(t)
+	w, err := Create(path, Meta{Name: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumTransactions() != 0 || r.NumPatterns() != 0 || len(r.Levels()) != 0 {
+		t.Fatalf("empty store reports %d txns, %d patterns", r.NumTransactions(), r.NumPatterns())
+	}
+}
+
+// --- format versioning and corruption ---
+
+func validStorePath(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	txns := []*graph.Graph{randGraph(rng, "t0"), randGraph(rng, "t1")}
+	pats := map[int][]pattern.Pattern{1: {randPattern(rng, 1, 2)}}
+	path := tmpStore(t)
+	writeStore(t, path, Meta{Name: "v"}, txns, pats)
+	return path
+}
+
+func corrupt(t *testing.T, path string, off int64, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if off < 0 {
+		st, _ := f.Stat()
+		off += st.Size()
+	}
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRejectWrongMagic: a non-store file must fail with a clear error
+// naming the magic, not a garbage decode.
+func TestRejectWrongMagic(t *testing.T) {
+	path := validStorePath(t)
+	corrupt(t, path, 0, []byte("NOTASTOR"))
+	_, err := Open(path)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+}
+
+// TestRejectWrongVersion: an unknown format version must be rejected
+// with both versions named.
+func TestRejectWrongVersion(t *testing.T) {
+	path := validStorePath(t)
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], FormatVersion+7)
+	corrupt(t, path, int64(len(magic)), v[:])
+	_, err := Open(path)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+// TestRejectTruncated: a file cut off mid-footer must be rejected by
+// Open (its tail is not a trailer).
+func TestRejectTruncated(t *testing.T) {
+	path := validStorePath(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-trailerSize/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("truncated store opened")
+	}
+	// A header-only fragment (no checkpoint ever completed) is
+	// rejected by Open and unrecoverable.
+	w, err := Create(path, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close()
+	if _, err := Open(path); err == nil {
+		t.Fatal("header-only fragment opened")
+	}
+}
+
+// TestCheckpointRecovery: every WriteTransactions/WriteLevel ends
+// with a footer, so a run that dies mid-level leaves its completed
+// checkpoints salvageable: Open rejects the file, Recover serves it
+// as of the last intact footer. On a cleanly Closed store, Recover
+// == Open.
+func TestCheckpointRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	txns := []*graph.Graph{randGraph(rng, "t0"), randGraph(rng, "t1"), randGraph(rng, "t2")}
+	level1 := []pattern.Pattern{randPattern(rng, 1, 3), randPattern(rng, 1, 3)}
+	level2 := []pattern.Pattern{randPattern(rng, 2, 3)}
+
+	path := tmpStore(t)
+	w, err := Create(path, Meta{Name: "crashy", Kind: "fsg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTransactions(txns); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteLevel(1, level1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteLevel(2, level2); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the process dying mid-level-3: partial record bytes
+	// after the level-2 checkpoint, then no more writes.
+	if err := w.write([]byte("partial level 3 record bytes......")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close()
+
+	if _, err := Open(path); err == nil {
+		t.Fatal("crashed store opened without recovery")
+	}
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumTransactions() != len(txns) || r.NumPatterns() != len(level1)+len(level2) {
+		t.Fatalf("recovered %d txns / %d patterns, want %d / %d",
+			r.NumTransactions(), r.NumPatterns(), len(txns), len(level1)+len(level2))
+	}
+	for i, want := range append(append([]pattern.Pattern{}, level1...), level2...) {
+		got, err := r.Pattern(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePattern(t, &want, got)
+	}
+
+	// Dying between the level-1 and level-2 checkpoints (mid-level-2):
+	// recovery lands on the level-1 footer.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.tnd")
+	// Find the level-1 footer: the second endMagic occurrence
+	// (WriteTransactions wrote the first), then keep a few bytes more.
+	first := strings.Index(string(data), endMagic)
+	second := first + len(endMagic) + strings.Index(string(data[first+len(endMagic):]), endMagic)
+	if err := os.WriteFile(cut, data[:second+len(endMagic)+5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Recover(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.NumPatterns() != len(level1) || len(r2.Levels()) != 1 {
+		t.Fatalf("mid-level-2 recovery found %d patterns in %d levels, want %d in 1",
+			r2.NumPatterns(), len(r2.Levels()), len(level1))
+	}
+
+	// A cleanly closed store recovers to itself.
+	clean := validStorePath(t)
+	rc, err := Recover(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	ro, err := Open(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if rc.NumPatterns() != ro.NumPatterns() || rc.NumTransactions() != ro.NumTransactions() {
+		t.Fatal("Recover diverged from Open on a clean store")
+	}
+}
+
+// TestRejectIndexCorruption: flipping bytes inside the footer index
+// must fail the CRC check.
+func TestRejectIndexCorruption(t *testing.T) {
+	path := validStorePath(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxOff := binary.LittleEndian.Uint64(data[len(data)-trailerSize:])
+	corrupt(t, path, int64(idxOff), []byte{0xff, 0xff, 0xff})
+	_, err = Open(path)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+}
+
+// --- writer validation ---
+
+func TestWriterValidation(t *testing.T) {
+	g := graph.New("p")
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	g.AddEdge(a, b, "x")
+	txn := randGraph(rand.New(rand.NewSource(3)), "t")
+
+	newW := func() *Writer {
+		w, err := Create(tmpStore(t), Meta{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Abort() })
+		return w
+	}
+
+	w := newW()
+	if err := w.WriteLevel(1, nil); err == nil {
+		t.Fatal("WriteLevel before WriteTransactions accepted")
+	}
+	if err := w.WriteTransactions([]*graph.Graph{txn}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTransactions([]*graph.Graph{txn}); err == nil {
+		t.Fatal("double WriteTransactions accepted")
+	}
+	if err := w.WriteLevel(2, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: []int{0}}}); err == nil {
+		t.Fatal("edge-count mismatch accepted")
+	}
+	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 2, TIDs: []int{1, 0}}}); err == nil {
+		t.Fatal("non-ascending TIDs accepted")
+	}
+	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: []int{5}}}); err == nil {
+		t.Fatal("out-of-range TID accepted")
+	}
+	if err := w.WriteLevel(1, []pattern.Pattern{{
+		Graph: g, Code: "c", Support: 1, TIDs: []int{0},
+		Embs: make([][]iso.DenseEmbedding, 2),
+	}}); err == nil {
+		t.Fatal("misaligned embedding lists accepted")
+	}
+	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: []int{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteLevel(1, nil); err == nil {
+		t.Fatal("repeated level accepted")
+	}
+}
+
+// TestAbortRemovesFile: Abort on a partial write leaves nothing
+// behind.
+func TestAbortRemovesFile(t *testing.T) {
+	path := tmpStore(t)
+	w, err := Create(path, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTransactions(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("aborted store still exists: %v", err)
+	}
+}
