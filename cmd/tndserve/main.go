@@ -68,8 +68,12 @@ func main() {
 		}
 		used[strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))]++
 		mounts = append(mounts, serve.Mount{Name: name, Reader: r})
-		log.Printf("mounted %s: %d transactions, %d patterns across %d levels",
-			p, r.NumTransactions(), r.NumPatterns(), len(r.Levels()))
+		codes := "exact codes"
+		if !r.Exact() {
+			codes = "legacy v1 codes (approximate matches possible)"
+		}
+		log.Printf("mounted %s: format v%d (%s), %d transactions, %d patterns across %d levels",
+			p, r.Version(), codes, r.NumTransactions(), r.NumPatterns(), len(r.Levels()))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -24,7 +24,6 @@ import (
 	"tnkd/internal/engine"
 	"tnkd/internal/fsg"
 	"tnkd/internal/graph"
-	"tnkd/internal/iso"
 	"tnkd/internal/partition"
 	"tnkd/internal/pattern"
 	"tnkd/internal/store"
@@ -132,11 +131,10 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &StructuralResult{}
-	// The cross-repetition union buckets by the miner's approximate
-	// isomorphism-invariant code and resolves membership within a
-	// bucket by exact isomorphism, so code collisions never merge
-	// distinct patterns.
-	byCode := make(map[string][]*StructuralPattern)
+	// The cross-repetition union keys by the miner's exact canonical
+	// code: equal codes certify isomorphism, so membership is a plain
+	// map hit.
+	byCode := make(map[string]*StructuralPattern)
 	var union []*StructuralPattern
 
 	// Draw all m partitionings serially first — they consume the
@@ -188,15 +186,7 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 		res.PerRun = append(res.PerRun, runRes)
 		for i := range runRes.Patterns {
 			p := &runRes.Patterns[i]
-			bucket := byCode[p.Code]
-			var existing *StructuralPattern
-			for _, sp := range bucket {
-				if iso.Isomorphic(sp.Graph, p.Graph) {
-					existing = sp
-					break
-				}
-			}
-			if existing != nil {
+			if existing := byCode[p.Code]; existing != nil {
 				existing.Runs++
 				if p.Support > existing.Support {
 					existing.Support = p.Support
@@ -204,7 +194,7 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 				continue
 			}
 			sp := &StructuralPattern{Graph: p.Graph, Code: p.Code, Support: p.Support, Runs: 1}
-			byCode[p.Code] = append(bucket, sp)
+			byCode[p.Code] = sp
 			union = append(union, sp)
 		}
 	}

@@ -1,72 +1,179 @@
 package iso
 
 import (
-	"strings"
 	"testing"
 
 	"tnkd/internal/graph"
 )
 
 func TestCodeEmptyGraph(t *testing.T) {
-	g := graph.New("e")
-	if Code(g) != "∅" {
-		t.Errorf("empty code = %q", Code(g))
+	a, b := graph.New("e1"), graph.New("e2")
+	if Code(a) == "" {
+		t.Error("empty graph must still have a code")
+	}
+	if Code(a) != Code(b) {
+		t.Error("empty graphs with different codes")
+	}
+	one := graph.New("one")
+	one.AddVertex("x")
+	if Code(one) == Code(a) {
+		t.Error("single-vertex graph shares the empty code")
 	}
 }
 
-func TestCodeFallbackOnHugeSymmetry(t *testing.T) {
-	// A hub with 60 identical spokes has 60! orderings within one
-	// refinement class — far past the permutation budget, so Code
-	// must fall back to the flagged invariant code instead of
-	// enumerating.
-	g := graph.New("hub")
-	h := g.AddVertex("*")
-	for i := 0; i < 60; i++ {
-		s := g.AddVertex("*")
-		g.AddEdge(h, s, "w")
-	}
-	code := Code(g)
-	if !strings.HasPrefix(code, "~") {
-		t.Errorf("expected fallback (~) code, got %.40q...", code)
-	}
-	// The fallback still matches an isomorphic copy.
-	g2 := graph.New("hub2")
-	h2 := g2.AddVertex("*")
-	for i := 0; i < 60; i++ {
-		s := g2.AddVertex("*")
-		g2.AddEdge(h2, s, "w")
-	}
-	if Code(g2) != code {
-		t.Error("isomorphic hubs with different fallback codes")
-	}
-}
-
-func TestCodesEqualSemantics(t *testing.T) {
-	if eq, exact := CodesEqual("a", "a"); !eq || !exact {
-		t.Error("exact equal codes")
-	}
-	if eq, exact := CodesEqual("a", "b"); eq || !exact {
-		t.Error("exact different codes")
-	}
-	if eq, exact := CodesEqual("~a", "~a"); !eq || exact {
-		t.Error("approx equal codes must not certify exactness")
-	}
-	if eq, _ := CodesEqual("~a", "~b"); eq {
-		t.Error("approx different codes")
-	}
-}
-
-func TestFingerprintMatchesIsomorphs(t *testing.T) {
+func TestCodeSingleVertices(t *testing.T) {
 	a := graph.New("a")
-	a1 := a.AddVertex("p")
-	a2 := a.AddVertex("q")
-	a.AddEdge(a1, a2, "e")
+	a.AddVertex("p")
 	b := graph.New("b")
-	b2 := b.AddVertex("q")
-	b1 := b.AddVertex("p")
-	b.AddEdge(b1, b2, "e")
-	if Fingerprint(a) != Fingerprint(b) {
-		t.Error("isomorphic graphs with different fingerprints")
+	b.AddVertex("p")
+	c := graph.New("c")
+	c.AddVertex("q")
+	if Code(a) != Code(b) {
+		t.Error("equal single-vertex graphs with different codes")
+	}
+	if Code(a) == Code(c) {
+		t.Error("differently labeled vertices share a code")
+	}
+	// Isolated vertices count: one p-vertex vs two.
+	d := graph.New("d")
+	d.AddVertex("p")
+	d.AddVertex("p")
+	if Code(a) == Code(d) {
+		t.Error("different vertex counts share a code")
+	}
+}
+
+// TestCodeExactOnHugeSymmetry is the shape that previously exceeded
+// the permutation budget and degraded to a "~" code: a hub with 60
+// identical spokes (60! orderings within one refinement cell). The
+// individualisation-refinement labeler must code it exactly — equal
+// for isomorphic copies, different from near-misses.
+func TestCodeExactOnHugeSymmetry(t *testing.T) {
+	mkStar := func(name string, spokes int) *graph.Graph {
+		g := graph.New(name)
+		h := g.AddVertex("*")
+		for i := 0; i < spokes; i++ {
+			s := g.AddVertex("*")
+			g.AddEdge(h, s, "w")
+		}
+		return g
+	}
+	code := Code(mkStar("hub", 60))
+	if code != Code(mkStar("hub2", 60)) {
+		t.Error("isomorphic 60-spoke hubs with different codes")
+	}
+	if code == Code(mkStar("hub59", 59)) {
+		t.Error("59- and 60-spoke hubs share a code")
+	}
+	// One reversed spoke breaks the symmetry and the isomorphism.
+	rev := mkStar("hubrev", 59)
+	s := rev.AddVertex("*")
+	rev.AddEdge(s, 0, "w")
+	if code == Code(rev) {
+		t.Error("hub with one reversed spoke shares the 60-spoke code")
+	}
+}
+
+// TestCodeSeparatesC12FromTwoC6 is the engineered collision of the
+// PR 2 invariant codes: a single directed 12-cycle versus two
+// disjoint 6-cycles have identical degree/label refinement views but
+// are not isomorphic. Exact codes must separate them.
+func TestCodeSeparatesC12FromTwoC6(t *testing.T) {
+	cycle := func(g *graph.Graph, n int) {
+		vs := make([]graph.VertexID, n)
+		for i := range vs {
+			vs[i] = g.AddVertex("*")
+		}
+		for i := range vs {
+			g.AddEdge(vs[i], vs[(i+1)%n], "e")
+		}
+	}
+	c12 := graph.New("c12")
+	cycle(c12, 12)
+	twoC6 := graph.New("2c6")
+	cycle(twoC6, 6)
+	cycle(twoC6, 6)
+	if Code(c12) == Code(twoC6) {
+		t.Fatal("C12 and C6+C6 share a canonical code")
+	}
+	c12b := graph.New("c12b")
+	cycle(c12b, 12)
+	if Code(c12) != Code(c12b) {
+		t.Fatal("isomorphic C12 copies with different codes")
+	}
+	if Isomorphic(c12, twoC6) {
+		t.Fatal("sanity: C12 and C6+C6 reported isomorphic")
+	}
+}
+
+// TestCodeMaskedEqualsCompactedSubgraph: the masked code of (g, e)
+// must equal the code of the materialised subgraph with e deleted and
+// orphans dropped — the downward-closure equality fsg relies on.
+func TestCodeMaskedEqualsCompactedSubgraph(t *testing.T) {
+	g := graph.New("g")
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("C")
+	d := g.AddVertex("B")
+	e1 := g.AddEdge(a, b, "x")
+	g.AddEdge(b, c, "y")
+	g.AddEdge(c, d, "x")
+	e4 := g.AddEdge(d, a, "z")
+
+	for _, skip := range []graph.EdgeID{e1, e4} {
+		sub := g.Clone()
+		sub.RemoveEdge(skip)
+		sub.RemoveOrphans()
+		compact, _ := sub.Compact()
+		if got, want := CodeMasked(g, skip), Code(compact); got != want {
+			t.Errorf("masked code for skip=%d diverges from compacted subgraph code", skip)
+		}
+	}
+
+	// Masking the only edge into a leaf drops the orphaned vertex.
+	h := graph.New("h")
+	x := h.AddVertex("X")
+	y := h.AddVertex("Y")
+	z := h.AddVertex("Z")
+	h.AddEdge(x, y, "e")
+	leafEdge := h.AddEdge(y, z, "f")
+	sub := h.Clone()
+	sub.RemoveEdge(leafEdge)
+	sub.RemoveOrphans()
+	compact, _ := sub.Compact()
+	if CodeMasked(h, leafEdge) != Code(compact) {
+		t.Error("masked code kept the orphaned leaf vertex")
+	}
+}
+
+func TestCanonicalFormMatchesCode(t *testing.T) {
+	g := graph.New("g")
+	a := g.AddVertex("p")
+	b := g.AddVertex("q")
+	g.AddEdge(a, b, "e")
+	if len(CanonicalForm(g)) == 0 {
+		t.Fatal("empty canonical form")
+	}
+	// Code is a pure encoding of the form: stable across calls.
+	if Code(g) != Code(g) {
+		t.Fatal("Code not deterministic")
+	}
+}
+
+// TestCodeParallelEdges: multigraph edge multiplicities are part of
+// the code.
+func TestCodeParallelEdges(t *testing.T) {
+	single := graph.New("s")
+	a := single.AddVertex("p")
+	b := single.AddVertex("q")
+	single.AddEdge(a, b, "e")
+	double := graph.New("d")
+	c := double.AddVertex("p")
+	d := double.AddVertex("q")
+	double.AddEdge(c, d, "e")
+	double.AddEdge(c, d, "e")
+	if Code(single) == Code(double) {
+		t.Error("parallel-edge multiplicity not in the code")
 	}
 }
 

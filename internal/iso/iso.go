@@ -1,5 +1,5 @@
 // Package iso implements subgraph isomorphism, graph isomorphism and
-// quasi-canonical codes for the labeled directed multigraphs of
+// exact canonical codes for the labeled directed multigraphs of
 // package graph.
 //
 // Section 4 of the paper defines when two subgraphs support the same

@@ -138,7 +138,8 @@ func TestPropertyEmbeddingIsValid(t *testing.T) {
 }
 
 // PropertyIsomorphismEquivalence: Isomorphic is reflexive and
-// symmetric, and implies equal Codes.
+// symmetric, and canonical codes are an exact iso invariant: equal
+// codes if and only if isomorphic.
 func TestPropertyIsomorphismEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	for trial := 0; trial < 80; trial++ {
@@ -151,14 +152,140 @@ func TestPropertyIsomorphismEquivalence(t *testing.T) {
 		if ab != ba {
 			t.Fatalf("trial %d: not symmetric", trial)
 		}
-		if ab && Code(a) != Code(b) {
-			t.Fatalf("trial %d: isomorphic graphs with different codes", trial)
+		if ab != (Code(a) == Code(b)) {
+			t.Fatalf("trial %d: Isomorphic=%v but code equality=%v\n%s\n%s",
+				trial, ab, !ab, a.Dump(), b.Dump())
 		}
-		if !ab {
-			ca, cb := Code(a), Code(b)
-			if eq, exact := CodesEqual(ca, cb); eq && exact {
-				t.Fatalf("trial %d: non-isomorphic graphs share an exact code\n%s\n%s",
-					trial, a.Dump(), b.Dump())
+	}
+}
+
+// permuteGraph rebuilds g with vertices inserted in a random order
+// and edges shuffled — an isomorphic copy with a scrambled ID space.
+func permuteGraph(rng *rand.Rand, g *graph.Graph) *graph.Graph {
+	vs := g.Vertices()
+	perm := rng.Perm(len(vs))
+	out := graph.New(g.Name + "#perm")
+	remap := make(map[graph.VertexID]graph.VertexID, len(vs))
+	for _, i := range perm {
+		remap[vs[i]] = out.AddVertex(g.Vertex(vs[i]).Label)
+	}
+	es := g.Edges()
+	rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+	for _, e := range es {
+		ed := g.Edge(e)
+		out.AddEdge(remap[ed.From], remap[ed.To], ed.Label)
+	}
+	return out
+}
+
+// PropertyCodeInvariantUnderPermutation: a permuted copy always gets
+// the identical code — over random graphs including near-uniform
+// labelings whose refinement cells stay large.
+func TestPropertyCodeInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 150; trial++ {
+		// Alternate between label-rich and label-poor (symmetric) graphs.
+		vl, el := 3, 3
+		if trial%2 == 0 {
+			vl, el = 1, 1
+		}
+		g := randGraph(rng, 8, 12, vl, el)
+		p := permuteGraph(rng, g)
+		if Code(g) != Code(p) {
+			t.Fatalf("trial %d: permuted copy changed the code\n%s\n%s",
+				trial, g.Dump(), p.Dump())
+		}
+	}
+}
+
+// PropertyCodeExactOnSymmetricFamilies covers the automorphism-heavy
+// shapes that previously exceeded the permutation budget: cycles,
+// stars, complete bipartite blocks and disjoint cycle unions. Equal
+// codes must coincide exactly with isomorphism across the family.
+func TestPropertyCodeExactOnSymmetricFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var family []*graph.Graph
+	addCycles := func(name string, lens ...int) {
+		g := graph.New(name)
+		for _, n := range lens {
+			vs := make([]graph.VertexID, n)
+			for i := range vs {
+				vs[i] = g.AddVertex("*")
+			}
+			for i := range vs {
+				g.AddEdge(vs[i], vs[(i+1)%n], "e")
+			}
+		}
+		family = append(family, g)
+	}
+	addCycles("c12", 12)
+	addCycles("c6c6", 6, 6)
+	addCycles("c8c4", 8, 4)
+	addCycles("c5c7", 5, 7)
+	star := func(name string, spokes int, flip int) *graph.Graph {
+		g := graph.New(name)
+		h := g.AddVertex("*")
+		for i := 0; i < spokes; i++ {
+			s := g.AddVertex("*")
+			if i < flip {
+				g.AddEdge(s, h, "w")
+			} else {
+				g.AddEdge(h, s, "w")
+			}
+		}
+		return g
+	}
+	family = append(family, star("s40", 40, 0), star("s40f1", 40, 1), star("s40f2", 40, 2))
+	bip := func(name string, a, b int) *graph.Graph {
+		g := graph.New(name)
+		var left, right []graph.VertexID
+		for i := 0; i < a; i++ {
+			left = append(left, g.AddVertex("*"))
+		}
+		for i := 0; i < b; i++ {
+			right = append(right, g.AddVertex("*"))
+		}
+		for _, u := range left {
+			for _, v := range right {
+				g.AddEdge(u, v, "w")
+			}
+		}
+		return g
+	}
+	family = append(family, bip("k33", 3, 3), bip("k34", 3, 4), bip("k43", 4, 3), bip("k44", 4, 4))
+
+	for i, a := range family {
+		pa := permuteGraph(rng, a)
+		if Code(a) != Code(pa) {
+			t.Fatalf("%s: permuted copy changed the code", a.Name)
+		}
+		for j, b := range family {
+			if i == j {
+				continue
+			}
+			iso := Isomorphic(a, b)
+			if iso != (Code(a) == Code(b)) {
+				t.Fatalf("%s vs %s: Isomorphic=%v but codes %s",
+					a.Name, b.Name, iso, map[bool]string{true: "equal", false: "differ"}[Code(a) == Code(b)])
+			}
+		}
+	}
+}
+
+// PropertyMaskedCodeEqualsSubgraphCode: for random graphs and every
+// maskable edge, CodeMasked equals the code of the materialised
+// one-edge-deleted subgraph.
+func TestPropertyMaskedCodeEqualsSubgraphCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 60; trial++ {
+		g := randGraph(rng, 7, 10, 2, 2)
+		for _, e := range g.Edges() {
+			sub := g.Clone()
+			sub.RemoveEdge(e)
+			sub.RemoveOrphans()
+			compact, _ := sub.Compact()
+			if CodeMasked(g, e) != Code(compact) {
+				t.Fatalf("trial %d: masked code for edge %d diverges\n%s", trial, e, g.Dump())
 			}
 		}
 	}

@@ -1,5 +1,5 @@
 // Package pattern is the shared pattern-with-embeddings store of the
-// mining layers: a pattern graph coupled with its quasi-canonical
+// mining layers: a pattern graph coupled with its exact canonical
 // code, the TID list of supporting transactions, and per-TID
 // embedding lists (vertex/edge maps into each transaction).
 //
@@ -40,10 +40,12 @@ import (
 // dense form.
 type Pattern struct {
 	Graph *graph.Graph
-	// Code is the owning layer's isomorphism-invariant dedup key:
-	// fsg's hashed approximate code ("~" prefix), iso.Code, or the
-	// iso.Fingerprint SUBDUE groups by. Approximate codes require
-	// the SameGraph fallback on equality.
+	// Code is the exact canonical code of Graph (iso.Code): equal
+	// codes certify isomorphism, so every dedup site keys patterns by
+	// plain string equality. Patterns decoded from legacy version-1
+	// stores may instead carry an approximate "~"-prefixed code
+	// (pre-canonical miners); only that compat path still needs the
+	// SameGraph fallback on equality.
 	Code string
 	// Support is the number of supporting transactions, len(TIDs).
 	Support int
@@ -137,26 +139,27 @@ func (p *Pattern) Instances() []iso.DenseEmbedding {
 	return p.Embs[0]
 }
 
-// SameGraph reports whether two pattern graphs with the given
-// quasi-canonical codes are isomorphic. Exact codes decide directly;
-// approximate codes (prefix "~", emitted when iso.Code exceeds its
-// permutation budget) may collide between non-isomorphic graphs, so
-// equality falls back to an explicit isomorphism check. Every place
-// that dedups patterns by code must go through this (or replicate
-// it), or "~" collisions silently merge distinct patterns.
+// SameGraph reports whether two pattern graphs with the given codes
+// are isomorphic. It exists only for legacy version-1 stores (and as
+// a test oracle): the mining path emits exact canonical codes, whose
+// plain equality decides isomorphism, but v1 stores may hold the old
+// approximate "~"-prefixed codes, which collide between
+// non-isomorphic graphs and need an explicit isomorphism check on
+// equality.
 func SameGraph(codeA string, a *graph.Graph, codeB string, b *graph.Graph) bool {
-	equal, exact := iso.CodesEqual(codeA, codeB)
-	if !equal {
+	if codeA != codeB {
 		return false
 	}
-	if exact {
-		return true
+	if ApproxCode(codeA) {
+		return iso.Isomorphic(a, b)
 	}
-	return iso.Isomorphic(a, b)
+	return true
 }
 
-// ApproxCode reports whether code is approximate (needs the
-// SameGraph isomorphism fallback on equality).
+// ApproxCode reports whether code is a legacy approximate code (the
+// "~"-prefixed hashed invariants of pre-canonical miners, still
+// found in version-1 stores), which needs the SameGraph isomorphism
+// fallback on equality. No current miner emits one.
 func ApproxCode(code string) bool { return strings.HasPrefix(code, "~") }
 
 // CountOptions tunes CountExtension.

@@ -10,9 +10,8 @@ import (
 	"tnkd/internal/synth"
 )
 
-// cycle builds a directed cycle of n uniformly labeled vertices. For
-// n large enough the refinement classes blow iso.Code's permutation
-// budget, forcing the approximate "~" code.
+// cycle builds a directed cycle of n uniformly labeled vertices —
+// the shape whose hashed invariants used to collide (C12 vs C6+C6).
 func cycle(g *graph.Graph, n int) {
 	first := g.AddVertex("*")
 	cur := first
@@ -24,12 +23,14 @@ func cycle(g *graph.Graph, n int) {
 	g.AddEdge(cur, first, "e")
 }
 
-// TestSameGraphResolvesApproxCodeCollision is the engineered
-// collision: C12 and C6+C6 are non-isomorphic but share vertex and
-// edge invariants, so their approximate codes collide — the dedup
-// helper must resolve the collision with the isomorphism fallback
-// rather than merging the two patterns.
-func TestSameGraphResolvesApproxCodeCollision(t *testing.T) {
+// TestExactCodesSeparateFormerCollision is the engineered collision
+// of the pre-canonical era: C12 and C6+C6 are non-isomorphic but
+// share vertex and edge invariants, so their hashed "~" codes used
+// to collide and dedup leaned on the SameGraph isomorphism fallback.
+// Exact canonical codes must separate the pair outright — and
+// SameGraph (now the v1-store compat oracle) must agree with plain
+// code equality on exact codes.
+func TestExactCodesSeparateFormerCollision(t *testing.T) {
 	c12 := graph.New("c12")
 	cycle(c12, 12)
 	twoC6 := graph.New("2c6")
@@ -37,28 +38,54 @@ func TestSameGraphResolvesApproxCodeCollision(t *testing.T) {
 	cycle(twoC6, 6)
 
 	codeA, codeB := iso.Code(c12), iso.Code(twoC6)
-	if !ApproxCode(codeA) || !ApproxCode(codeB) {
-		t.Fatalf("expected approximate codes, got %q / %q", codeA, codeB)
+	if ApproxCode(codeA) || ApproxCode(codeB) {
+		t.Fatalf("the mining path must not emit approximate codes, got %q / %q", codeA, codeB)
 	}
-	if codeA != codeB {
-		t.Fatalf("expected an invariant-code collision, got distinct codes")
+	if codeA == codeB {
+		t.Fatal("exact codes failed to separate C12 from C6+C6")
 	}
 	if SameGraph(codeA, c12, codeB, twoC6) {
-		t.Fatal("SameGraph merged non-isomorphic graphs with colliding approximate codes")
+		t.Fatal("SameGraph merged non-isomorphic graphs with distinct exact codes")
 	}
-
-	// The sibling case: a genuinely isomorphic pair with approximate
-	// codes must still be recognised as the same pattern.
 	c12b := graph.New("c12b")
 	cycle(c12b, 12)
 	if !SameGraph(codeA, c12, iso.Code(c12b), c12b) {
-		t.Fatal("SameGraph split isomorphic graphs with approximate codes")
+		t.Fatal("SameGraph split isomorphic graphs with equal exact codes")
 	}
 }
 
-// TestSameGraphMatchesIsomorphicOnSynthPairs cross-checks the dedup
-// helper against exact isomorphism on seeded random graph pairs from
-// the synth generator, covering both exact and approximate codes.
+// TestSameGraphLegacyApproxSemantics pins the v1-store compat path:
+// legacy "~" codes collide between non-isomorphic graphs, so
+// SameGraph must confirm equality with an isomorphism check instead
+// of trusting the code.
+func TestSameGraphLegacyApproxSemantics(t *testing.T) {
+	c12 := graph.New("c12")
+	cycle(c12, 12)
+	twoC6 := graph.New("2c6")
+	cycle(twoC6, 6)
+	cycle(twoC6, 6)
+	c12b := graph.New("c12b")
+	cycle(c12b, 12)
+
+	// A v1 store could hold both graphs under one colliding "~" code.
+	legacy := "~2kp0mbcgyyppw"
+	if !ApproxCode(legacy) {
+		t.Fatal("legacy code not recognised as approximate")
+	}
+	if SameGraph(legacy, c12, legacy, twoC6) {
+		t.Fatal("SameGraph trusted a colliding legacy code")
+	}
+	if !SameGraph(legacy, c12, legacy, c12b) {
+		t.Fatal("SameGraph split isomorphic graphs sharing a legacy code")
+	}
+	if SameGraph(legacy, c12, "~other", c12b) {
+		t.Fatal("SameGraph merged distinct legacy codes")
+	}
+}
+
+// TestSameGraphMatchesIsomorphicOnSynthPairs cross-checks the compat
+// oracle against exact isomorphism on seeded random graph pairs from
+// the synth generator.
 func TestSameGraphMatchesIsomorphicOnSynthPairs(t *testing.T) {
 	rng := rand.New(rand.NewSource(20050405))
 	patterns := synth.DefaultPatterns()

@@ -17,13 +17,22 @@
 //	/v1/locations/{label}/patterns       patterns occurring at a vertex
 //	                                     label, counted from embeddings
 //
-// Pattern codes are the miners' isomorphism-invariant codes; an
-// approximate code ("~" prefix) or an Algorithm 1 store (one record
-// per repetition) can match several records, so code-keyed endpoints
-// return every match. Store scans (level listings, location queries)
-// fan out per record on the shared internal/engine worker pool and
-// honour request-context cancellation, so one slow scan neither
-// serialises the server nor outlives its client.
+// Pattern codes are the miners' exact canonical codes (iso.Code):
+// equal code means the same pattern, and an Algorithm 1 store keeps
+// one record per repetition, so code-keyed endpoints return every
+// matching record of that one pattern. Legacy version-1 stores may
+// hold the old approximate "~" codes, which can additionally collide
+// between non-isomorphic patterns; their matches are served through
+// the same multi-record responses (the old disambiguation path —
+// callers separate collisions by the returned graphs).
+//
+// Location queries are answered from a per-mount inverted index
+// (vertex label -> patterns whose stored embeddings touch it) built
+// lazily on the first /v1/locations query and memoized for the life
+// of the mount — stores are immutable once mounted, so the index
+// never invalidates. The first query pays one full store scan
+// (fanned out per record on the shared internal/engine pool); every
+// later query is a map hit.
 package serve
 
 import (
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"tnkd/internal/engine"
@@ -61,16 +71,24 @@ type Mount struct {
 }
 
 // Server answers queries over one or more mounted stores. It is
-// stateless beyond the readers and safe for concurrent use.
+// stateless beyond the readers and the lazily built location indices
+// and safe for concurrent use.
 type Server struct {
 	mounts []Mount
 	opts   Options
+	loc    []locIndex // per mount, aligned with mounts
+	// locBody caches the marshaled /v1/locations response per label:
+	// the indices are immutable, so the response bytes are too. On
+	// label-poor stores (the paper's uniform-label graphs) one label
+	// matches every pattern and serialising the half-megabyte answer
+	// dominated the warm path; a cached body turns it into a write.
+	locBody sync.Map // label -> []byte
 }
 
 // New builds a Server over the given mounts. Mount order is response
 // order.
 func New(mounts []Mount, opts Options) *Server {
-	return &Server{mounts: mounts, opts: opts}
+	return &Server{mounts: mounts, opts: opts, loc: make([]locIndex, len(mounts))}
 }
 
 // Handler returns the routed HTTP handler.
@@ -510,59 +528,68 @@ func occurrenceJSON(txn *graph.Graph, emb iso.DenseEmbedding) (OccurrenceJSON, e
 	return out, nil
 }
 
-// handleLocation scans every record of every mount for stored
-// embeddings touching a transaction vertex with the queried label —
-// the inverted "which patterns occur at this location?" view, fanned
-// out per record on the engine pool.
-func (s *Server) handleLocation(w http.ResponseWriter, r *http.Request) {
-	label := r.PathValue("label")
-	out := LocationJSON{Label: label, Patterns: []LocationPatternJSON{}}
-	for _, m := range s.mounts {
-		m := m
-		n := m.Reader.NumPatterns()
-		hits, err := engine.MapCtx(r.Context(), s.opts.Parallelism, n,
-			func(ctx context.Context, i int) (*LocationPatternJSON, error) {
-				return s.scanLocation(ctx, m, i, label)
-			})
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		for _, h := range hits {
-			if h == nil {
-				continue
-			}
-			if h.Occurrences < 0 {
-				out.PatternsWithoutEmbeddings++
-				continue
-			}
-			out.Patterns = append(out.Patterns, *h)
-		}
-	}
-	sort.SliceStable(out.Patterns, func(i, j int) bool {
-		return out.Patterns[i].Occurrences > out.Patterns[j].Occurrences
-	})
-	writeJSON(w, http.StatusOK, out)
+// locIndex is the lazily built, memoized inverted location index of
+// one mount: for every vertex label touched by any stored embedding,
+// the patterns occurring there in record order. Stores are immutable
+// once mounted, so the index is built at most once (sync.Once) and
+// never invalidated; build errors (corrupt stores) are memoized too
+// — they are permanent properties of the file.
+type locIndex struct {
+	once    sync.Once
+	err     error
+	byLabel map[string][]LocationPatternJSON
+	noEmb   int // records with no stored embedding lists at all
 }
 
-// scanLocation checks one record against a location label. Returns
-// nil for a record whose embeddings never touch the label, and a
-// sentinel Occurrences == -1 for records with no stored lists (which
-// cannot be checked without re-matching).
-func (s *Server) scanLocation(ctx context.Context, m Mount, i int, label string) (*LocationPatternJSON, error) {
+// locationIndex returns mount mi's inverted index, building it on
+// first use. The build scans every record once, fanned out on the
+// engine pool; it deliberately runs under context.Background — the
+// index outlives the triggering request, so that request's
+// cancellation must not poison the memo for everyone after it.
+func (s *Server) locationIndex(mi int) (*locIndex, error) {
+	idx := &s.loc[mi]
+	idx.once.Do(func() {
+		m := s.mounts[mi]
+		n := m.Reader.NumPatterns()
+		hits, err := engine.MapCtx(context.Background(), s.opts.Parallelism, n,
+			func(ctx context.Context, i int) (map[string]*LocationPatternJSON, error) {
+				return scanRecordLocations(m, i)
+			})
+		if err != nil {
+			idx.err = err
+			return
+		}
+		idx.byLabel = make(map[string][]LocationPatternJSON)
+		for _, perLabel := range hits { // record order: engine.MapCtx preserves input order
+			if perLabel == nil {
+				idx.noEmb++
+				continue
+			}
+			for label, h := range perLabel {
+				idx.byLabel[label] = append(idx.byLabel[label], *h)
+			}
+		}
+	})
+	return idx, idx.err
+}
+
+// scanRecordLocations decodes one record and inverts its embeddings:
+// for each vertex label they touch, the occurrence count (embeddings
+// containing at least one vertex with the label) and the supporting
+// TIDs. Returns nil for records with no stored lists (which cannot
+// be checked without re-matching).
+func scanRecordLocations(m Mount, i int) (map[string]*LocationPatternJSON, error) {
 	if m.Reader.Info(i).Embeddings == 0 {
-		return &LocationPatternJSON{Occurrences: -1}, nil
+		return nil, nil
 	}
 	p, err := m.Reader.Pattern(i)
 	if err != nil {
 		return nil, err
 	}
-	occurrences := 0
-	var tids []int
+	info := m.Reader.Info(i)
+	out := make(map[string]*LocationPatternJSON)
+	var embLabels []string // distinct labels within one embedding
 	for j, tid := range p.TIDs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		if len(p.Embs[j]) == 0 {
 			continue
 		}
@@ -570,30 +597,82 @@ func (s *Server) scanLocation(ctx context.Context, m Mount, i int, label string)
 		if err != nil {
 			return nil, err
 		}
-		hitTxn := false
 		for _, emb := range p.Embs[j] {
+			embLabels = embLabels[:0]
 			for _, tv := range emb.Verts {
 				if !txn.HasVertex(tv) {
 					return nil, fmt.Errorf("corrupt store: %s record %d references missing vertex %d in %s",
 						m.Name, i, tv, txn.Name)
 				}
-				if txn.Vertex(tv).Label == label {
-					occurrences++
-					hitTxn = true
-					break
+				label := txn.Vertex(tv).Label
+				seen := false
+				for _, l := range embLabels {
+					if l == label {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					embLabels = append(embLabels, label)
+				}
+			}
+			for _, label := range embLabels {
+				h := out[label]
+				if h == nil {
+					h = &LocationPatternJSON{
+						Store: m.Name, Index: i, Code: info.Code,
+						Edges: info.Edges, Support: info.Support,
+					}
+					out[label] = h
+				}
+				h.Occurrences++
+				if len(h.TIDs) == 0 || h.TIDs[len(h.TIDs)-1] != tid {
+					h.TIDs = append(h.TIDs, tid)
 				}
 			}
 		}
-		if hitTxn {
-			tids = append(tids, tid)
+	}
+	return out, nil
+}
+
+// handleLocation answers "which patterns occur at this location?"
+// from the memoized inverted index — a map hit (and, after the first
+// query for a label, a cached pre-marshaled body) instead of the
+// full-store scan this endpoint used to run per request.
+func (s *Server) handleLocation(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("label")
+	if body, ok := s.locBody.Load(label); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body.([]byte)) //nolint:errcheck // client gone is not a server error
+		return
+	}
+	out := LocationJSON{Label: label, Patterns: []LocationPatternJSON{}}
+	for mi := range s.mounts {
+		idx, err := s.locationIndex(mi)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
 		}
+		out.PatternsWithoutEmbeddings += idx.noEmb
+		out.Patterns = append(out.Patterns, idx.byLabel[label]...)
 	}
-	if occurrences == 0 {
-		return nil, nil
+	sort.SliceStable(out.Patterns, func(i, j int) bool {
+		return out.Patterns[i].Occurrences > out.Patterns[j].Occurrences
+	})
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
-	info := m.Reader.Info(i)
-	return &LocationPatternJSON{
-		Store: m.Name, Index: i, Code: info.Code, Edges: info.Edges,
-		Support: info.Support, Occurrences: occurrences, TIDs: tids,
-	}, nil
+	body = append(body, '\n') // match writeJSON's Encoder framing
+	if len(out.Patterns) > 0 {
+		// Only labels that exist get a cached body: empty responses
+		// are cheap to recompute, and caching them would let probes
+		// for made-up labels grow the cache without bound.
+		s.locBody.Store(label, body)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // client gone is not a server error
 }

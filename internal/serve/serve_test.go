@@ -254,6 +254,64 @@ func TestServeLocationQuery(t *testing.T) {
 	}
 }
 
+// TestServeLocationIndexMemoized pins the inverted-index behaviour:
+// repeated queries (same and different labels, concurrent cold
+// start) return identical, correct responses — the index is built
+// once per mount and reused, never rebuilt or invalidated.
+func TestServeLocationIndexMemoized(t *testing.T) {
+	fx := newMinedFixture(t)
+	labels := map[string]bool{}
+	for _, txn := range fx.txns {
+		for _, v := range txn.Vertices() {
+			labels[txn.Vertex(v).Label] = true
+		}
+	}
+
+	// Concurrent cold start: every first query must see the same
+	// fully built index (sync.Once), not a partial one.
+	label0 := fx.txns[0].Vertex(fx.txns[0].Vertices()[0]).Label
+	const racers = 8
+	cold := make([]LocationJSON, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fx.ts.URL + "/v1/locations/" + url.PathEscape(label0) + "/patterns")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			json.NewDecoder(resp.Body).Decode(&cold[i]) //nolint:errcheck
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if !reflect.DeepEqual(cold[i], cold[0]) {
+			t.Fatalf("concurrent cold-start responses diverge:\n%+v\n%+v", cold[0], cold[i])
+		}
+	}
+
+	// Warm queries across every label: identical across repeats.
+	for label := range labels {
+		path := "/v1/locations/" + url.PathEscape(label) + "/patterns"
+		var first, second LocationJSON
+		getJSON(t, fx.ts, path, &first)
+		getJSON(t, fx.ts, path, &second)
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("label %q: repeated query diverged", label)
+		}
+	}
+
+	// An unknown label answers empty (not 404): the index knows the
+	// label simply occurs nowhere.
+	var empty LocationJSON
+	getJSON(t, fx.ts, "/v1/locations/no-such-place/patterns", &empty)
+	if len(empty.Patterns) != 0 {
+		t.Fatalf("unknown label matched %d patterns", len(empty.Patterns))
+	}
+}
+
 // TestServeErrors covers the failure contract: JSON errors with
 // accurate statuses.
 func TestServeErrors(t *testing.T) {

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tnkd/internal/graph"
+	"tnkd/internal/pattern"
+)
+
+// patchVersion rewrites the format-version field of a store file in
+// place — the uint32 following the magic.
+func patchVersion(t *testing.T, path string, version uint32) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], version)
+	if _, err := f.WriteAt(v[:], int64(len(magic))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chainPattern builds a 2-edge chain a-e->b-f->c over the given
+// labels.
+func chainPattern(l0, l1, l2 string) *graph.Graph {
+	g := graph.New("pat")
+	a := g.AddVertex(l0)
+	b := g.AddVertex(l1)
+	c := g.AddVertex(l2)
+	g.AddEdge(a, b, "e")
+	g.AddEdge(b, c, "f")
+	return g
+}
+
+// writeLegacyStore synthesizes a version-1 store: records carry the
+// pre-canonical "~" codes, including two non-isomorphic patterns
+// sharing one colliding code. The byte layout of v1 and v2 is
+// identical, so a Writer-produced file with its header version
+// patched back to 1 is a faithful v1 store.
+func writeLegacyStore(t *testing.T, path string) (collA, collB *graph.Graph) {
+	t.Helper()
+	txn := graph.New("t0")
+	a := txn.AddVertex("A")
+	b := txn.AddVertex("B")
+	c := txn.AddVertex("C")
+	txn.AddEdge(a, b, "e")
+	txn.AddEdge(b, c, "f")
+
+	w, err := Create(path, Meta{Name: "legacy", Kind: "fsg", MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTransactions([]*graph.Graph{txn}); err != nil {
+		t.Fatal(err)
+	}
+	// Two non-isomorphic 2-edge patterns stored under one colliding
+	// legacy code, plus an honest record under its own code.
+	collA = chainPattern("A", "B", "C")
+	collB = chainPattern("C", "B", "A")
+	honest := chainPattern("A", "A", "A")
+	if err := w.WriteLevel(2, []pattern.Pattern{
+		{Graph: collA, Code: "~collide", Support: 1, TIDs: []int{0}},
+		{Graph: collB, Code: "~collide", Support: 1, TIDs: []int{0}},
+		{Graph: honest, Code: "~lonely", Support: 1, TIDs: []int{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	patchVersion(t, path, 1)
+	return collA, collB
+}
+
+// TestOpenLegacyV1Store: a version-1 store with "~" codes opens and
+// serves correctly through the old bucket-plus-disambiguate path.
+func TestOpenLegacyV1Store(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.tnd")
+	collA, collB := writeLegacyStore(t, path)
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("open v1 store: %v", err)
+	}
+	defer r.Close()
+	if r.Version() != 1 {
+		t.Fatalf("Version() = %d, want 1", r.Version())
+	}
+	if r.Exact() {
+		t.Fatal("a v1 store must not report exact codes")
+	}
+
+	// The colliding code buckets both records; SameGraph picks the
+	// requested graph out of the bucket — the legacy path intact.
+	hits := r.FindByCode("~collide")
+	if len(hits) != 2 {
+		t.Fatalf("FindByCode(~collide) = %v, want 2 hits", hits)
+	}
+	var matched int
+	for _, i := range hits {
+		p, err := r.Pattern(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pattern.SameGraph(p.Code, p.Graph, "~collide", collA) {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("SameGraph matched %d of the colliding records for collA, want exactly 1", matched)
+	}
+	// And the sibling graph matches the other record.
+	matched = 0
+	for _, i := range hits {
+		p, err := r.Pattern(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pattern.SameGraph(p.Code, p.Graph, "~collide", collB) {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("SameGraph matched %d of the colliding records for collB, want exactly 1", matched)
+	}
+
+	if hits := r.FindByCode("~lonely"); len(hits) != 1 {
+		t.Fatalf("FindByCode(~lonely) = %v, want 1 hit", hits)
+	}
+	// Transactions and level directory are served as usual.
+	if r.NumTransactions() != 1 || r.NumPatterns() != 3 {
+		t.Fatalf("txns=%d patterns=%d", r.NumTransactions(), r.NumPatterns())
+	}
+	if _, err := r.Transaction(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCurrentWriterProducesV2 pins the version bump: a fresh store
+// opens at version 2 with exact codes.
+func TestCurrentWriterProducesV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.tnd")
+	w, err := Create(path, Meta{Name: "v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != FormatVersion || !r.Exact() {
+		t.Fatalf("Version() = %d Exact() = %v, want %d/true", r.Version(), r.Exact(), FormatVersion)
+	}
+}
+
+// TestRejectUnknownVersionNamesRange: versions outside the readable
+// range fail with both bounds named.
+func TestRejectUnknownVersionNamesRange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.tnd")
+	w, err := Create(path, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	patchVersion(t, path, FormatVersion+5)
+	_, err = Open(path)
+	if err == nil {
+		t.Fatal("opened a future-version store")
+	}
+	for _, want := range []string{"version", "1 through 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+	patchVersion(t, path, 0)
+	if _, err := Open(path); err == nil {
+		t.Fatal("opened a version-0 store")
+	}
+}

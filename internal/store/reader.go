@@ -30,6 +30,7 @@ type Reader struct {
 	data    []byte // nil when mmap is unavailable
 	munmap  func() error
 	size    int64
+	version uint32
 	meta    Meta
 	txnSpan []span
 	levels  []levelInfo
@@ -48,12 +49,12 @@ func Open(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	size, err := checkHeader(path, f)
+	size, version, err := checkHeader(path, f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	r, err := readerAt(path, f, size, size)
+	r, err := readerAt(path, f, size, size, version)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -71,17 +72,17 @@ func Recover(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	size, err := checkHeader(path, f)
+	size, version, err := checkHeader(path, f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if r, err := readerAt(path, f, size, size); err == nil {
+	if r, err := readerAt(path, f, size, size, version); err == nil {
 		return r, nil
 	}
 	end, err := lastFooterEnd(f, size, size)
 	for err == nil && end > 0 {
-		if r, rerr := readerAt(path, f, size, end); rerr == nil {
+		if r, rerr := readerAt(path, f, size, end, version); rerr == nil {
 			return r, nil
 		}
 		// A false marker hit (magic bytes inside record data) or a
@@ -95,27 +96,30 @@ func Recover(path string) (*Reader, error) {
 	return nil, fmt.Errorf("store: %s: no intact checkpoint footer found — nothing to recover", path)
 }
 
-// checkHeader validates magic and version, returning the file size.
-func checkHeader(path string, f *os.File) (int64, error) {
+// checkHeader validates magic and version, returning the file size
+// and the store's format version.
+func checkHeader(path string, f *os.File) (int64, uint32, error) {
 	st, err := f.Stat()
 	if err != nil {
-		return 0, fmt.Errorf("store: stat %s: %w", path, err)
+		return 0, 0, fmt.Errorf("store: stat %s: %w", path, err)
 	}
 	size := st.Size()
 	if size < int64(headerSize+trailerSize) {
-		return 0, fmt.Errorf("store: %s: file too short (%d bytes) to be a store", path, size)
+		return 0, 0, fmt.Errorf("store: %s: file too short (%d bytes) to be a store", path, size)
 	}
 	var hdr [headerSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return 0, fmt.Errorf("store: read header of %s: %w", path, err)
+		return 0, 0, fmt.Errorf("store: read header of %s: %w", path, err)
 	}
 	if string(hdr[:len(magic)]) != magic {
-		return 0, fmt.Errorf("store: %s: bad magic %q (want %q) — not a store file", path, hdr[:len(magic)], magic)
+		return 0, 0, fmt.Errorf("store: %s: bad magic %q (want %q) — not a store file", path, hdr[:len(magic)], magic)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[len(magic):]); v != FormatVersion {
-		return 0, fmt.Errorf("store: %s: unsupported format version %d (this build reads version %d)", path, v, FormatVersion)
+	v := binary.LittleEndian.Uint32(hdr[len(magic):])
+	if v < MinReadVersion || v > FormatVersion {
+		return 0, 0, fmt.Errorf("store: %s: unsupported format version %d (this build reads versions %d through %d)",
+			path, v, MinReadVersion, FormatVersion)
 	}
-	return size, nil
+	return size, v, nil
 }
 
 // lastFooterEnd scans backwards from limit for the latest end-magic
@@ -158,7 +162,7 @@ func lastFooterEnd(f *os.File, size, limit int64) (int64, error) {
 // logicalEnd (== fileSize for a cleanly closed store; earlier for a
 // recovered checkpoint). All offsets are validated against
 // logicalEnd, wraparound included.
-func readerAt(path string, f *os.File, fileSize, logicalEnd int64) (*Reader, error) {
+func readerAt(path string, f *os.File, fileSize, logicalEnd int64, version uint32) (*Reader, error) {
 	if logicalEnd < int64(headerSize+trailerSize) || logicalEnd > fileSize {
 		return nil, fmt.Errorf("store: %s: invalid footer position %d", path, logicalEnd)
 	}
@@ -183,7 +187,7 @@ func readerAt(path string, f *os.File, fileSize, logicalEnd int64) (*Reader, err
 	if crc := crc32.ChecksumIEEE(idx); crc != idxCRC {
 		return nil, fmt.Errorf("store: %s: index checksum mismatch (file %08x, computed %08x) — corrupt store", path, idxCRC, crc)
 	}
-	r := &Reader{path: path, f: f, size: int64(idxOff)}
+	r := &Reader{path: path, f: f, size: int64(idxOff), version: version}
 	if err := r.parseIndex(idx); err != nil {
 		return nil, err
 	}
@@ -265,6 +269,17 @@ func (r *Reader) Close() error {
 // Path returns the file path the reader was opened from.
 func (r *Reader) Path() string { return r.path }
 
+// Version returns the store's format version. Version 2 stores carry
+// exact canonical codes (FindByCode is an exact lookup); version 1
+// stores may carry legacy approximate "~" codes whose matches need
+// pattern.SameGraph disambiguation.
+func (r *Reader) Version() int { return int(r.version) }
+
+// Exact reports whether the store's codes are exact canonical codes
+// (format version >= 2): equal code ⟺ isomorphic pattern, no
+// disambiguation needed on FindByCode hits.
+func (r *Reader) Exact() bool { return r.version >= 2 }
+
 // Meta returns the run-level metadata persisted with the store.
 func (r *Reader) Meta() Meta { return r.meta }
 
@@ -338,10 +353,13 @@ func (r *Reader) edgesOf(i int) int {
 }
 
 // FindByCode returns the global record indices whose code equals the
-// given code, in store order. Approximate codes ("~" prefix) may
-// collide between non-isomorphic patterns, and Algorithm 1 stores
-// keep one record per repetition — callers that need one specific
-// graph disambiguate with pattern.SameGraph.
+// given code, in store order. On version 2 stores this is an exact
+// lookup: every returned record holds the same pattern (Algorithm 1
+// stores keep one record per repetition, so several exact hits are
+// still normal). On legacy version 1 stores an approximate "~" code
+// may collide between non-isomorphic patterns — callers that need
+// one specific graph disambiguate with pattern.SameGraph, the
+// retained compat path.
 func (r *Reader) FindByCode(code string) []int {
 	return r.byCode[code]
 }

@@ -25,6 +25,7 @@ type LevelStats struct {
 // -store`.
 type Stats struct {
 	Path         string
+	Version      int
 	Meta         Meta
 	Transactions int
 	Patterns     int
@@ -36,6 +37,7 @@ type Stats struct {
 func ReadStats(r *Reader) Stats {
 	st := Stats{
 		Path:         r.Path(),
+		Version:      r.Version(),
 		Meta:         r.Meta(),
 		Transactions: r.NumTransactions(),
 		Patterns:     r.NumPatterns(),
@@ -72,7 +74,7 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== Store: %s ===\n", s.Path)
 	m := s.Meta
-	fmt.Fprintf(&b, "kind=%s name=%q min-support=%d", orUnset(m.Kind), m.Name, m.MinSupport)
+	fmt.Fprintf(&b, "format=v%d kind=%s name=%q min-support=%d", s.Version, orUnset(m.Kind), m.Name, m.MinSupport)
 	if m.CreatedUnix != 0 {
 		fmt.Fprintf(&b, " created=%s", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
 	}

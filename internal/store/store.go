@@ -58,9 +58,24 @@ const (
 	// endMagic closes every complete store file; its absence means
 	// the writing run died before Close.
 	endMagic = "TNDSTEND"
-	// FormatVersion is the current format version. Readers reject
-	// any other value.
-	FormatVersion = 1
+	// FormatVersion is the version written by this build. Version
+	// history:
+	//
+	//	1  original layout; pattern codes are the pre-canonical
+	//	   miners' quasi-canonical strings — approximate "~"-prefixed
+	//	   codes may collide between non-isomorphic patterns, so code
+	//	   lookups bucket and callers disambiguate with
+	//	   pattern.SameGraph.
+	//	2  identical byte layout; pattern codes are exact canonical
+	//	   codes (iso.Code) — equal code ⟺ isomorphic, so code lookup
+	//	   is an exact map hit with no disambiguation.
+	//
+	// Readers accept versions [MinReadVersion, FormatVersion] and
+	// expose the opened version via Reader.Version so serving layers
+	// can keep the legacy disambiguation path for v1 stores.
+	FormatVersion = 2
+	// MinReadVersion is the oldest version Open still reads.
+	MinReadVersion = 1
 
 	headerSize  = len(magic) + 4
 	trailerSize = 8 + 8 + 4 + len(endMagic)

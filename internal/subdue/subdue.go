@@ -97,11 +97,11 @@ type Substructure struct {
 	// Value is the evaluation score; higher is better.
 	Value float64
 	// pat is the shared pattern-store representation (internal/
-	// pattern): the substructure graph with its fingerprint and all
-	// discovered (possibly overlapping) instances as a single-target
-	// embedding list. The instances seed the next extension round —
-	// the classic SUBDUE instance-growth design that avoids global
-	// isomorphism searches.
+	// pattern): the substructure graph with its canonical code and
+	// all discovered (possibly overlapping) instances as a
+	// single-target embedding list. The instances seed the next
+	// extension round — the classic SUBDUE instance-growth design
+	// that avoids global isomorphism searches.
 	pat *pattern.Pattern
 }
 
@@ -129,7 +129,7 @@ type discoverer struct {
 	opts Options
 	eval evaluator
 
-	seen map[string][]*graph.Graph
+	seen map[string]bool
 	res  *Result
 }
 
@@ -150,22 +150,19 @@ func newDiscoverer(g *graph.Graph, opts Options) *discoverer {
 		g:    g,
 		opts: opts,
 		eval: newEvaluator(g, opts.Principle),
-		seen: make(map[string][]*graph.Graph),
+		seen: make(map[string]bool),
 		res:  &Result{},
 	}
 }
 
 // alreadySeen reports whether an isomorphic pattern was evaluated
-// before, and records pg if not. Dedup is two-stage: a cheap
-// isomorphism-invariant fingerprint groups candidates, and exact
-// isomorphism confirms within the group (fingerprints may collide).
-func (d *discoverer) alreadySeen(fp string, pg *graph.Graph) bool {
-	for _, prev := range d.seen[fp] {
-		if iso.Isomorphic(prev, pg) {
-			return true
-		}
+// before, and records the code if not. Codes are exact canonical
+// codes (iso.Code), so dedup is a plain set-membership test.
+func (d *discoverer) alreadySeen(code string) bool {
+	if d.seen[code] {
+		return true
 	}
-	d.seen[fp] = append(d.seen[fp], pg)
+	d.seen[code] = true
 	return false
 }
 
@@ -194,7 +191,7 @@ func (d *discoverer) run() *Result {
 		var survivors []rawCand
 		for _, cands := range outs {
 			for _, rc := range cands {
-				if d.alreadySeen(rc.fp, rc.pattern) {
+				if d.alreadySeen(rc.code) {
 					continue
 				}
 				d.res.Generated++
@@ -202,7 +199,7 @@ func (d *discoverer) run() *Result {
 			}
 		}
 		children := engine.Map(d.opts.Parallelism, len(survivors), func(i int) Substructure {
-			return d.score(survivors[i].pattern, survivors[i].fp, survivors[i].embs)
+			return d.score(survivors[i].pattern, survivors[i].code, survivors[i].embs)
 		})
 		for _, sub := range children {
 			if sub.Instances >= d.opts.MinInstances && sub.Graph.NumEdges() > 0 {
@@ -239,7 +236,7 @@ func (d *discoverer) initialSubstructures() []Substructure {
 		if len(embs) == 0 {
 			continue
 		}
-		subs = append(subs, d.score(pg, iso.Fingerprint(pg), embs))
+		subs = append(subs, d.score(pg, iso.Code(pg), embs))
 	}
 	sortByValue(subs)
 	if len(subs) > d.opts.BeamWidth {
@@ -249,16 +246,16 @@ func (d *discoverer) initialSubstructures() []Substructure {
 }
 
 // score computes the non-overlapping instance count and evaluation
-// value of a pattern given its fingerprint (already computed by the
-// extend/dedup stage) and its discovered embeddings.
-func (d *discoverer) score(pg *graph.Graph, fp string, embs []iso.DenseEmbedding) Substructure {
+// value of a pattern given its canonical code (already computed by
+// the extend/dedup stage) and its discovered embeddings.
+func (d *discoverer) score(pg *graph.Graph, code string, embs []iso.DenseEmbedding) Substructure {
 	disjoint := iso.GreedyNonOverlapDense(embs)
 	return Substructure{
 		Graph:     pg,
-		Code:      fp,
+		Code:      code,
 		Instances: len(disjoint),
 		Value:     d.eval.value(pg, len(disjoint)),
-		pat:       pattern.NewSingle(pg, fp, embs),
+		pat:       pattern.NewSingle(pg, code, embs),
 	}
 }
 
@@ -301,10 +298,10 @@ type descInfo struct {
 }
 
 // rawCand is one unscored extension pattern produced by extend, with
-// the fingerprint used for cross-parent dedup. Scoring happens after
-// dedup so duplicates are never scored.
+// the canonical code used for cross-parent dedup. Scoring happens
+// after dedup so duplicates are never scored.
 type rawCand struct {
-	fp      string
+	code    string
 	pattern *graph.Graph
 	embs    []iso.DenseEmbedding
 }
@@ -312,17 +309,19 @@ type rawCand struct {
 // extend generates all one-edge extensions of sub that occur in the
 // graph, growing each parent instance by one incident edge — the
 // classic SUBDUE instance-driven extension, which never performs a
-// global isomorphism search. Extension patterns are grouped by cheap
-// fingerprint and verified with exact isomorphism within a group.
-// It reads only the shared graph (never the shared seen-set or
-// result counters), so distinct parents extend safely in parallel.
+// global isomorphism search. Extension patterns are grouped by exact
+// canonical code (equal code ⟺ isomorphic), so isomorphic
+// constructions merge with no verification search. It reads only the
+// shared graph (never the shared seen-set or result counters), so
+// distinct parents extend safely in parallel.
 func (d *discoverer) extend(sub *Substructure) []rawCand {
-	candidates := make(map[string][]*extCandidate)
-	var order []string // fingerprints in first-seen order, for determinism
+	candidates := make(map[string]*extCandidate)
+	var order []string // codes in first-seen order, for determinism
 	descs := make(map[descKey]*descInfo)
 
 	// resolveDesc builds the extension pattern for a construction the
-	// first time it appears and groups it with isomorphic candidates.
+	// first time it appears and merges it with the isomorphic
+	// candidate when one exists.
 	resolveDesc := func(key descKey) *descInfo {
 		if info, ok := descs[key]; ok {
 			return info
@@ -339,21 +338,14 @@ func (d *discoverer) extend(sub *Substructure) []rawCand {
 			info.nv = ext.AddVertex(key.vlabel)
 			info.pe = ext.AddEdge(info.nv, key.a, key.elabel)
 		}
-		fp := iso.Fingerprint(ext)
-		group, ok := candidates[fp]
-		if !ok {
-			order = append(order, fp)
-		}
-		for _, c := range group {
-			if iso.Isomorphic(c.pattern, ext) {
-				info.cand = c
-				info.needsReanchor = true
-				break
-			}
-		}
-		if info.cand == nil {
+		code := iso.Code(ext)
+		if c, ok := candidates[code]; ok {
+			info.cand = c
+			info.needsReanchor = true
+		} else {
 			info.cand = &extCandidate{pattern: ext, seen: make(map[string]bool)}
-			candidates[fp] = append(group, info.cand)
+			candidates[code] = info.cand
+			order = append(order, code)
 		}
 		descs[key] = info
 
@@ -451,10 +443,9 @@ func (d *discoverer) extend(sub *Substructure) []rawCand {
 	}
 
 	var out []rawCand
-	for _, fp := range order {
-		for _, cand := range candidates[fp] {
-			out = append(out, rawCand{fp: fp, pattern: cand.pattern, embs: cand.embs})
-		}
+	for _, code := range order {
+		cand := candidates[code]
+		out = append(out, rawCand{code: code, pattern: cand.pattern, embs: cand.embs})
 	}
 	return out
 }
