@@ -388,6 +388,98 @@ func BenchmarkTemporalPipelineSerial(b *testing.B) { benchmarkTemporalPipeline(b
 // BenchmarkTemporalPipelineParallel uses all CPUs.
 func BenchmarkTemporalPipelineParallel(b *testing.B) { benchmarkTemporalPipeline(b, 0) }
 
+// --- Delta-mining benches: fold appended days vs full re-mine ---
+
+var (
+	deltaOnce  sync.Once
+	deltaPrior fsg.Prior
+	deltaAdded []*Graph
+	deltaOpts  fsg.Options
+)
+
+// deltaWorkload builds the reference temporal workload split at the
+// last day boundary that adds transactions: the prefix is mined once
+// (the persisted state a real deployment would already hold) and the
+// suffix is what MineDelta folds in. Mining-only on purpose — the
+// partition build is identical for both paths and would only dilute
+// the comparison.
+func deltaWorkload(b *testing.B) {
+	b.Helper()
+	deltaOnce.Do(func() {
+		data := pipelineData(b)
+		popts := DefaultTemporalMineOptions().Partition
+		whole := partition.Temporal(data, popts)
+		full := whole.Transactions
+		var prefix []*Graph
+		for back := 1; back < 30; back++ {
+			p := popts
+			p.MaxDays = whole.DaysTotal - back
+			prefix = partition.Temporal(data, p).Transactions
+			if len(prefix) > 0 && len(prefix) < len(full) {
+				break
+			}
+		}
+		if len(prefix) == 0 || len(prefix) == len(full) {
+			b.Fatal("no day boundary splits the temporal workload")
+		}
+		prevOpts := fsg.Options{
+			MinSupport: fsg.MinSupportFraction(len(prefix), 0.05),
+			MaxEdges:   8, MaxSteps: 200000,
+		}
+		prev, err := fsg.Mine(prefix, prevOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		levels := make(map[int][]fsg.Pattern)
+		for i := range prev.Patterns {
+			p := prev.Patterns[i]
+			levels[p.Graph.NumEdges()] = append(levels[p.Graph.NumEdges()], p)
+		}
+		deltaPrior = fsg.Prior{Txns: prefix, Levels: levels, MinSupport: prevOpts.MinSupport}
+		deltaAdded = full[len(prefix):]
+		deltaOpts = fsg.Options{
+			MinSupport: fsg.MinSupportFraction(len(full), 0.05),
+			MaxEdges:   8, MaxSteps: 200000,
+		}
+	})
+}
+
+// BenchmarkTemporalDeltaFold folds the appended days into the
+// persisted prior with MineDelta — compare ns/op against
+// BenchmarkTemporalDeltaRemine for the incremental speedup (the
+// acceptance target is fold < 30% of re-mine).
+func BenchmarkTemporalDeltaFold(b *testing.B) {
+	deltaWorkload(b)
+	b.ResetTimer()
+	var res *fsg.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = fsg.MineDelta(deltaPrior, deltaAdded, deltaOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Patterns)), "patterns")
+	b.ReportMetric(float64(len(deltaAdded)), "added-txns")
+}
+
+// BenchmarkTemporalDeltaRemine mines the combined day set from
+// scratch — the cost a deployment pays without delta mining.
+func BenchmarkTemporalDeltaRemine(b *testing.B) {
+	deltaWorkload(b)
+	all := append(append([]*Graph(nil), deltaPrior.Txns...), deltaAdded...)
+	b.ResetTimer()
+	var res *fsg.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = fsg.Mine(all, deltaOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Patterns)), "patterns")
+}
+
 // BenchmarkSection9DynamicExtensions regenerates the future-work
 // extension report: repeated connection paths, weekly cadences and
 // spatially filtered lane rules.

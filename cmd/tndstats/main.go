@@ -8,10 +8,16 @@
 // Usage:
 //
 //	tndstats [-in file.csv | -scale 0.1]
-//	tndstats -store out.tnd [-recover]
+//	tndstats -store out.tnd [-recover] [-patterns]
 //
 // -recover salvages a store whose writing run died mid-level by
 // reading the last intact checkpoint footer.
+//
+// -patterns dumps every pattern record as one deterministic line
+// (level, canonical code, support, TID list) with no timestamps or
+// provenance, so two stores hold the same mining result exactly when
+// their dumps are byte-identical — `diff` of two dumps is the
+// delta-mining equivalence check CI runs.
 package main
 
 import (
@@ -32,6 +38,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "synthetic dataset scale when no -in")
 	storePath := flag.String("store", "", "report pattern/support/embedding statistics from this persisted store instead of a dataset")
 	recover := flag.Bool("recover", false, "with -store: salvage a store whose writing run died mid-level (reads the last intact checkpoint footer)")
+	patterns := flag.Bool("patterns", false, "with -store: dump every pattern record (level, code, support, TID list) as deterministic diff-able lines instead of aggregate statistics")
 	flag.Parse()
 
 	if *storePath != "" {
@@ -44,6 +51,14 @@ func main() {
 			log.Fatal(err)
 		}
 		defer r.Close()
+		if *patterns {
+			dump, err := store.DumpPatterns(r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(dump)
+			return
+		}
 		fmt.Print(store.ReadStats(r))
 		return
 	}

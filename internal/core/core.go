@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 
 	"tnkd/internal/bin"
@@ -67,6 +68,16 @@ type StructuralOptions struct {
 	// the store is the exact per-partitioning ground truth the union
 	// was computed from. cmd/tndserve serves the file.
 	StorePath string
+	// DeltaFrom, when non-empty, folds this run into the named
+	// persisted run instead of mining from scratch: the store's
+	// repetitions are rehydrated as-is and Repetitions more are drawn
+	// from the same RNG stream (the store records the partitioning
+	// provenance — Partitions, Seed, Strategy and Support must match
+	// it) and mined fresh, so the result — and the store written to
+	// StorePath — is identical to a full run at the combined
+	// repetition count. Repetitions means *added* repetitions here,
+	// and PerRun/PartitionCounts cover only them.
+	DeltaFrom string
 }
 
 // DefaultStructuralOptions mirrors the paper's breadth-first run.
@@ -96,10 +107,13 @@ type StructuralPattern struct {
 // StructuralResult is the outcome of Algorithm 1.
 type StructuralResult struct {
 	Patterns []StructuralPattern
-	// PerRun records each repetition's raw FSG result.
+	// PerRun records each repetition's raw FSG result. A delta run
+	// (DeltaFrom) holds only the added repetitions — the parent
+	// store's contribution is already folded into Patterns.
 	PerRun []*fsg.Result
 	// PartitionCounts records the number of partitions produced per
-	// repetition (can exceed k when the graph disconnects).
+	// repetition (can exceed k when the graph disconnects); added
+	// repetitions only in a delta run.
 	PartitionCounts []int
 }
 
@@ -129,13 +143,11 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 	if opts.Repetitions < 1 {
 		return nil, fmt.Errorf("core: Repetitions %d < 1", opts.Repetitions)
 	}
+	if opts.DeltaFrom != "" {
+		return mineStructuralDelta(g, opts)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &StructuralResult{}
-	// The cross-repetition union keys by the miner's exact canonical
-	// code: equal codes certify isomorphism, so membership is a plain
-	// map hit.
-	byCode := make(map[string]*StructuralPattern)
-	var union []*StructuralPattern
 
 	// Draw all m partitionings serially first — they consume the
 	// shared RNG stream, and drawing them in repetition order keeps
@@ -151,20 +163,125 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 		})
 		res.PartitionCounts = append(res.PartitionCounts, len(partitionings[rep]))
 	}
-	// Split the worker budget between the two fan-out levels so the
-	// total stays at the requested Parallelism: with p workers and m
-	// repetitions, min(p, m) repetitions run at once and each FSG run
-	// gets the remaining p/min(p,m) workers for support counting.
+	runs, err := mineRepetitionSet(partitionings, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.PerRun = runs
+	u := newStructuralUnion()
+	for _, runRes := range runs {
+		u.addRun(runRes)
+	}
+	res.Patterns = u.sorted()
+	if opts.StorePath != "" {
+		if err := writeStructuralStore(opts.StorePath, g.Name, nil, partitionings, runs, opts, opts.Repetitions, 0); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// mineStructuralDelta folds added repetitions into a persisted
+// Algorithm 1 run: the parent store's records are rehydrated as-is,
+// opts.Repetitions further partitionings are drawn from the same RNG
+// stream the parent consumed its prefix of, and only those are mined.
+// The union (and the store written to StorePath, provenance aside) is
+// identical to a full MineStructural at the combined repetition
+// count, because repetitions are independent — the per-repetition
+// records need no re-counting, only the fresh ones need mining.
+func mineStructuralDelta(g *graph.Graph, opts StructuralOptions) (*StructuralResult, error) {
+	if err := distinctPaths(opts.DeltaFrom, opts.StorePath); err != nil {
+		return nil, err
+	}
+	r, err := store.Open(opts.DeltaFrom)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if err := r.ValidateDeltaSource(true); err != nil {
+		return nil, err
+	}
+	m := r.Meta()
+	if m.Partitions != opts.Partitions || m.Seed != opts.Seed ||
+		m.Strategy != opts.Strategy.String() || m.MinSupport != opts.Support {
+		return nil, fmt.Errorf("core: delta source %s was mined with partitions=%d seed=%d strategy=%s support=%d; this run asks for partitions=%d seed=%d strategy=%s support=%d — parameters must match for the repetition stream to continue",
+			opts.DeltaFrom, m.Partitions, m.Seed, m.Strategy, m.MinSupport,
+			opts.Partitions, opts.Seed, opts.Strategy, opts.Support)
+	}
+	oldReps := m.Repetitions
+	total := oldReps + opts.Repetitions
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &StructuralResult{}
+	partitionings := make([][]*graph.Graph, total)
+	for rep := range partitionings {
+		partitionings[rep] = partition.SplitGraph(g, partition.SplitOptions{
+			K:        opts.Partitions,
+			Strategy: opts.Strategy,
+			Rand:     rng,
+		})
+		if rep >= oldReps {
+			res.PartitionCounts = append(res.PartitionCounts, len(partitionings[rep]))
+		}
+	}
+	// The redrawn prefix must byte-match the stored transaction set,
+	// or the caller handed a different graph (or a tampered store)
+	// and the rehydrated TID lists would be meaningless.
+	var oldTxns []*graph.Graph
+	for _, parts := range partitionings[:oldReps] {
+		oldTxns = append(oldTxns, parts...)
+	}
+	if len(oldTxns) != r.NumTransactions() {
+		return nil, fmt.Errorf("core: delta source %s holds %d transactions but the redrawn %d-repetition prefix has %d — different input graph?",
+			opts.DeltaFrom, r.NumTransactions(), oldReps, len(oldTxns))
+	}
+	if err := r.VerifyPrefix(oldTxns); err != nil {
+		return nil, fmt.Errorf("core: delta source mismatch (different input graph?): %w", err)
+	}
+	runs, err := mineRepetitionSet(partitionings[oldReps:], opts)
+	if err != nil {
+		return nil, err
+	}
+	res.PerRun = runs
+	// Fold the stored per-(pattern, repetition) records into the
+	// union first — max support and run counts aggregate the same
+	// whether a record was mined now or rehydrated — then the fresh
+	// repetitions in order, exactly as the full run would.
+	u := newStructuralUnion()
+	for i := 0; i < r.NumPatterns(); i++ {
+		p, err := r.PatternLite(i)
+		if err != nil {
+			return nil, err
+		}
+		u.add(p.Graph, p.Code, p.Support)
+	}
+	for _, runRes := range runs {
+		u.addRun(runRes)
+	}
+	res.Patterns = u.sorted()
+	if opts.StorePath != "" {
+		if err := writeStructuralStore(opts.StorePath, g.Name, r, partitionings[oldReps:], runs, opts, total, m.Generation+1); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// mineRepetitionSet mines one FSG run per partitioning on the engine
+// pool, splitting the worker budget between the two fan-out levels so
+// the total stays at the requested Parallelism: with p workers and m
+// partitionings, min(p, m) repetitions run at once and each FSG run
+// gets the remaining p/min(p,m) workers for support counting.
+func mineRepetitionSet(partitionings [][]*graph.Graph, opts StructuralOptions) ([]*fsg.Result, error) {
 	p := engine.Parallelism(opts.Parallelism)
 	outer := p
-	if outer > opts.Repetitions {
-		outer = opts.Repetitions
+	if outer > len(partitionings) {
+		outer = len(partitionings)
 	}
 	inner := p / outer
 	if inner < 1 {
 		inner = 1
 	}
-	runs, err := engine.MapCtx(context.Background(), outer, opts.Repetitions,
+	return engine.MapCtx(context.Background(), outer, len(partitionings),
 		func(_ context.Context, rep int) (*fsg.Result, error) {
 			runRes, err := fsg.Mine(partitionings[rep], fsg.Options{
 				MinSupport:    opts.Support,
@@ -179,42 +296,76 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 			}
 			return runRes, nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	for _, runRes := range runs {
-		res.PerRun = append(res.PerRun, runRes)
-		for i := range runRes.Patterns {
-			p := &runRes.Patterns[i]
-			if existing := byCode[p.Code]; existing != nil {
-				existing.Runs++
-				if p.Support > existing.Support {
-					existing.Support = p.Support
-				}
-				continue
-			}
-			sp := &StructuralPattern{Graph: p.Graph, Code: p.Code, Support: p.Support, Runs: 1}
-			byCode[p.Code] = sp
-			union = append(union, sp)
+}
+
+// structuralUnion accumulates the cross-repetition union, keyed by
+// the miner's exact canonical code: equal codes certify isomorphism,
+// so membership is a plain map hit.
+type structuralUnion struct {
+	byCode map[string]*StructuralPattern
+	union  []*StructuralPattern
+}
+
+func newStructuralUnion() *structuralUnion {
+	return &structuralUnion{byCode: make(map[string]*StructuralPattern)}
+}
+
+// add folds one per-repetition pattern occurrence into the union.
+func (u *structuralUnion) add(g *graph.Graph, code string, support int) {
+	if existing := u.byCode[code]; existing != nil {
+		existing.Runs++
+		if support > existing.Support {
+			existing.Support = support
 		}
+		return
 	}
-	sort.SliceStable(union, func(i, j int) bool { return union[i].Code < union[j].Code })
-	for _, sp := range union {
-		res.Patterns = append(res.Patterns, *sp)
+	sp := &StructuralPattern{Graph: g, Code: code, Support: support, Runs: 1}
+	u.byCode[code] = sp
+	u.union = append(u.union, sp)
+}
+
+func (u *structuralUnion) addRun(run *fsg.Result) {
+	for i := range run.Patterns {
+		p := &run.Patterns[i]
+		u.add(p.Graph, p.Code, p.Support)
 	}
-	sort.SliceStable(res.Patterns, func(i, j int) bool {
-		pi, pj := &res.Patterns[i], &res.Patterns[j]
+}
+
+// sorted renders the union in the deterministic output order: code
+// order first (a total order over isomorphism classes, independent of
+// which repetition found a pattern first), then by size and support.
+func (u *structuralUnion) sorted() []StructuralPattern {
+	sort.SliceStable(u.union, func(i, j int) bool { return u.union[i].Code < u.union[j].Code })
+	out := make([]StructuralPattern, 0, len(u.union))
+	for _, sp := range u.union {
+		out = append(out, *sp)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := &out[i], &out[j]
 		if pi.Graph.NumEdges() != pj.Graph.NumEdges() {
 			return pi.Graph.NumEdges() > pj.Graph.NumEdges()
 		}
 		return pi.Support > pj.Support
 	})
-	if opts.StorePath != "" {
-		if err := writeStructuralStore(opts.StorePath, g.Name, partitionings, runs, opts); err != nil {
-			return nil, err
-		}
+	return out
+}
+
+// distinctPaths rejects a delta run whose source and destination are
+// the same file: Create truncates the destination, which would rip
+// the mapped source out from under the reader mid-rehydration.
+func distinctPaths(deltaFrom, storePath string) error {
+	if storePath == "" {
+		return nil
 	}
-	return res, nil
+	a, errA := filepath.Abs(deltaFrom)
+	b, errB := filepath.Abs(storePath)
+	if errA != nil || errB != nil {
+		a, b = filepath.Clean(deltaFrom), filepath.Clean(storePath)
+	}
+	if a == b {
+		return fmt.Errorf("core: -delta-from and -store name the same file %s — the delta must write a new store", storePath)
+	}
+	return nil
 }
 
 // writeStructuralStore persists an Algorithm 1 run: the transaction
@@ -224,15 +375,36 @@ func MineStructural(g *graph.Graph, opts StructuralOptions) (*StructuralResult, 
 // one record per (pattern, repetition) — the exact per-partitioning
 // ground truth, embeddings included — so a query layer can aggregate
 // (max support across repetitions, as the union does) or inspect each
-// repetition on its own.
-func writeStructuralStore(path, name string, partitionings [][]*graph.Graph, runs []*fsg.Result, opts StructuralOptions) error {
+// repetition on its own. A delta run passes the parent reader as
+// prev: its transactions and records are rehydrated in front of the
+// added repetitions, so the written store equals the full-run store
+// at the combined repetition count.
+func writeStructuralStore(path, name string, prev *store.Reader, partitionings [][]*graph.Graph, runs []*fsg.Result, opts StructuralOptions, totalReps, generation int) error {
 	var txns []*graph.Graph
+	if prev != nil {
+		prevTxns, err := prev.Transactions()
+		if err != nil {
+			return err
+		}
+		txns = append(txns, prevTxns...)
+	}
 	offsets := make([]int, len(partitionings))
 	for rep, parts := range partitionings {
 		offsets[rep] = len(txns)
 		txns = append(txns, parts...)
 	}
 	byEdges := make(map[int][]pattern.Pattern)
+	if prev != nil {
+		// Rehydrated records come first within each level — they are
+		// the earlier repetitions, and WriteLevels appends in order.
+		for _, lv := range prev.Levels() {
+			pats, err := prev.LevelPatterns(lv.Edges)
+			if err != nil {
+				return err
+			}
+			byEdges[lv.Edges] = append(byEdges[lv.Edges], pats...)
+		}
+	}
 	for rep, run := range runs {
 		for i := range run.Patterns {
 			p := run.Patterns[i] // copy; TIDs replaced, embeddings shared read-only
@@ -244,13 +416,22 @@ func writeStructuralStore(path, name string, partitionings [][]*graph.Graph, run
 			byEdges[p.Graph.NumEdges()] = append(byEdges[p.Graph.NumEdges()], p)
 		}
 	}
-	w, err := store.Create(path, store.Meta{
-		Name:       name,
-		Kind:       "structural",
-		MinSupport: opts.Support,
+	meta := store.Meta{
+		Name:        name,
+		Kind:        "structural",
+		MinSupport:  opts.Support,
+		Repetitions: totalReps,
+		Partitions:  opts.Partitions,
+		Seed:        opts.Seed,
+		Strategy:    opts.Strategy.String(),
+		Generation:  generation,
 		Note: fmt.Sprintf("Algorithm 1: %d repetitions × %d partitions (%s), transactions concatenated per repetition, one record per (pattern, repetition)",
-			opts.Repetitions, opts.Partitions, opts.Strategy),
-	})
+			totalReps, opts.Partitions, opts.Strategy),
+	}
+	if prev != nil {
+		meta.Parent = opts.DeltaFrom
+	}
+	w, err := store.Create(path, meta)
 	if err != nil {
 		return err
 	}
@@ -290,6 +471,19 @@ type TemporalMineOptions struct {
 	// the run dies mid-mine (store.Recover / `tndstats -store x
 	// -recover` salvage them). cmd/tndserve serves the file.
 	StorePath string
+	// DeltaFrom, when non-empty, folds the new days into the named
+	// persisted run instead of re-mining every day from scratch: the
+	// store's transactions must be an exact prefix of this run's
+	// partition (verified byte-for-byte), its levels are rehydrated
+	// as the seed, and fsg.MineDelta extends each pattern's support
+	// column only over the appended transactions — promoting patterns
+	// that were sub-threshold before. The result (and the store
+	// written to StorePath, provenance aside) is identical to a full
+	// re-mine of the combined days. The absolute support threshold is
+	// recomputed from SupportFraction over the combined set, so it
+	// may sit above the parent run's — stored patterns that no longer
+	// qualify drop out exactly as a re-mine would drop them.
+	DeltaFrom string
 }
 
 // DefaultTemporalMineOptions mirrors the paper's successful run:
@@ -333,6 +527,39 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 		MaxEmbeddings: opts.MaxEmbeddings,
 		Parallelism:   opts.Parallelism,
 	}
+
+	// Delta mode: rehydrate the parent run and mine only the appended
+	// tail of the partition through it.
+	var prior *fsg.Prior
+	generation := 0
+	if opts.DeltaFrom != "" {
+		if err := distinctPaths(opts.DeltaFrom, opts.StorePath); err != nil {
+			return nil, err
+		}
+		r, err := store.Open(opts.DeltaFrom)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		if err := r.ValidateDeltaSource(false); err != nil {
+			return nil, err
+		}
+		m := r.Meta()
+		if err := r.VerifyPrefix(part.Transactions); err != nil {
+			return nil, fmt.Errorf("core: delta source mismatch (different dataset, scale or partition options?): %w", err)
+		}
+		levels, err := r.AllLevelPatterns()
+		if err != nil {
+			return nil, err
+		}
+		prior = &fsg.Prior{
+			Txns:       part.Transactions[:r.NumTransactions()],
+			Levels:     levels,
+			MinSupport: m.MinSupport,
+		}
+		generation = m.Generation + 1
+	}
+
 	var w *store.Writer
 	if opts.StorePath != "" {
 		var err error
@@ -340,6 +567,8 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 			Name:       "OD/daily",
 			Kind:       "temporal",
 			MinSupport: support,
+			Parent:     opts.DeltaFrom,
+			Generation: generation,
 			Note:       fmt.Sprintf("Section 6 per-day transactions (%d days)", len(part.Transactions)),
 		})
 		if err != nil {
@@ -353,7 +582,13 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 			return w.WriteLevel(lv.Edges, pats)
 		}
 	}
-	mined, err := fsg.Mine(part.Transactions, fsgOpts)
+	var mined *fsg.Result
+	var err error
+	if prior != nil {
+		mined, err = fsg.MineDelta(*prior, part.Transactions[len(prior.Txns):], fsgOpts)
+	} else {
+		mined, err = fsg.Mine(part.Transactions, fsgOpts)
+	}
 	if err != nil {
 		if w != nil {
 			w.Abort()

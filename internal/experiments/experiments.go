@@ -43,6 +43,21 @@ type Params struct {
 	// an internal/store file at exactly this path, for cmd/tndserve
 	// to serve. Sweep, recall and blow-up runners never write stores.
 	StorePath string
+	// DeltaFrom, when non-empty, makes the headline figure runners
+	// fold into the named persisted store instead of mining from
+	// scratch: RunFigure4 delta-mines the days appended since the
+	// store was written (core TemporalMineOptions.DeltaFrom), and
+	// RunFigure2/RunFigure3 append one more Algorithm 1 repetition to
+	// a structural store (core StructuralOptions.DeltaFrom). Results
+	// are identical to the corresponding full mine.
+	DeltaFrom string
+	// Days, when > 0, limits the temporal runners to the earliest
+	// Days calendar days (partition.TemporalOptions.MaxDays) — the
+	// arrival-simulation knob the delta end-to-end checks use to mine
+	// days 1..k, then fold day k+1 in. The Table 3 vertex-label cap
+	// is still computed over the full dataset, so a day-limited run's
+	// transactions stay an exact prefix of the next day's.
+	Days int
 }
 
 // NewParams generates a dataset at the given scale and returns ready

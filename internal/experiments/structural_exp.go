@@ -10,6 +10,7 @@ import (
 	"tnkd/internal/fsg"
 	"tnkd/internal/graph"
 	"tnkd/internal/partition"
+	"tnkd/internal/store"
 	"tnkd/internal/synth"
 )
 
@@ -34,10 +35,14 @@ func RunFigure2(p Params) *Figure2Result {
 	})
 	support := p.scaled(240, 3)
 	partitions := p.scaled(800, 8)
+	reps := 2
+	if p.DeltaFrom != "" {
+		reps = 1 // delta mode: one repetition appended per invocation
+	}
 	res, err := core.MineStructural(g, core.StructuralOptions{
 		Strategy:      partition.BreadthFirst,
 		Partitions:    partitions,
-		Repetitions:   2,
+		Repetitions:   reps,
 		Support:       support,
 		MaxEdges:      5,
 		MaxSteps:      50000,
@@ -45,6 +50,7 @@ func RunFigure2(p Params) *Figure2Result {
 		Seed:          p.Seed,
 		Parallelism:   p.Parallelism,
 		StorePath:     p.StorePath,
+		DeltaFrom:     p.DeltaFrom,
 	})
 	if err != nil {
 		panic(err) // options are internally consistent
@@ -102,11 +108,11 @@ func RunFigure3(p Params) *Figure3Result {
 	})
 	support := p.scaled(120, 2)
 	partitions := p.scaled(800, 8)
-	run := func(strat partition.Strategy, storePath string) *core.StructuralResult {
+	run := func(strat partition.Strategy, reps int, storePath, deltaFrom string) *core.StructuralResult {
 		res, err := core.MineStructural(g, core.StructuralOptions{
 			Strategy:      strat,
 			Partitions:    partitions,
-			Repetitions:   2,
+			Repetitions:   reps,
 			Support:       support,
 			MaxEdges:      5,
 			MaxSteps:      50000,
@@ -114,15 +120,28 @@ func RunFigure3(p Params) *Figure3Result {
 			Seed:          p.Seed,
 			Parallelism:   p.Parallelism,
 			StorePath:     storePath,
+			DeltaFrom:     deltaFrom,
 		})
 		if err != nil {
 			panic(err)
 		}
 		return res
 	}
-	// Only the headline DF run persists; the BF contrast is a foil.
-	df := run(partition.DepthFirst, p.StorePath)
-	bf := run(partition.BreadthFirst, "")
+	// Only the headline DF run persists (and delta-folds); the BF
+	// contrast is a foil. In delta mode the DF union covers the
+	// parent store's repetitions plus the one appended here, so the
+	// foil mines the same combined count — otherwise the BF-vs-DF
+	// figure would partly measure repetition count, not strategy.
+	dfReps, bfReps := 2, 2
+	if p.DeltaFrom != "" {
+		dfReps = 1 // one repetition appended per invocation
+		if r, err := store.Open(p.DeltaFrom); err == nil {
+			bfReps = r.Meta().Repetitions + 1
+			r.Close()
+		}
+	}
+	df := run(partition.DepthFirst, dfReps, p.StorePath, p.DeltaFrom)
+	bf := run(partition.BreadthFirst, bfReps, "", "")
 	out := &Figure3Result{Support: support, Partitions: partitions, NumPatterns: len(df.Patterns)}
 	longestChain := func(res *core.StructuralResult) (*core.StructuralPattern, int) {
 		var best *core.StructuralPattern

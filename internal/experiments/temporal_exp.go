@@ -26,6 +26,7 @@ type Table2Result struct {
 func RunTable2(p Params) *Table2Result {
 	opts := partition.DefaultTemporalOptions()
 	opts.SplitComponents = false // Table 2 counts whole daily graphs
+	opts.MaxDays = p.Days
 	opts.Parallelism = p.Parallelism
 	res := partition.Temporal(p.Data, opts)
 	return &Table2Result{
@@ -63,6 +64,10 @@ func labelCap(p Params) int {
 	if p.Scale >= 0.99 {
 		return 200
 	}
+	// Deliberately not day-limited (p.Days): the cap must be the same
+	// number for every prefix of the day sequence, or a day-k run's
+	// transactions would stop being a prefix of the day-k+1 run's and
+	// delta mining could not fold one into the other.
 	dayOpts := partition.DefaultTemporalOptions()
 	dayOpts.SplitComponents = false
 	dayOpts.DropSingleEdge = false
@@ -87,6 +92,7 @@ func labelCap(p Params) int {
 func RunTable3(p Params) *Table3Result {
 	opts := partition.DefaultTemporalOptions()
 	opts.MaxVertexLabels = labelCap(p)
+	opts.MaxDays = p.Days
 	opts.Parallelism = p.Parallelism
 	res := partition.Temporal(p.Data, opts)
 	return &Table3Result{Stats: res.Stats(), Filtered: res.FilteredByVertexLabels}
@@ -124,9 +130,11 @@ type Figure4Result struct {
 func RunFigure4(p Params) *Figure4Result {
 	opts := core.DefaultTemporalMineOptions()
 	opts.Partition.MaxVertexLabels = labelCap(p)
+	opts.Partition.MaxDays = p.Days
 	opts.Parallelism = p.Parallelism
 	opts.MaxEmbeddings = p.MaxEmbeddings
 	opts.StorePath = p.StorePath
+	opts.DeltaFrom = p.DeltaFrom
 	res, err := core.MineTemporal(p.Data, opts)
 	if err != nil {
 		panic(err)

@@ -433,10 +433,17 @@ func (m *matcher) tryAssign(pv, tv graph.VertexID) ([]graph.EdgeID, bool) {
 			m.usedEdge[te] = false
 		}
 	}
-	// Outgoing pattern edges pv -> assigned.
+	// Outgoing pattern edges pv -> assigned. A self-loop's endpoint is
+	// pv itself, not yet in m.assigned (search records the assignment
+	// only after tryAssign succeeds), so it anchors on tv directly —
+	// loop edges must reserve distinct target loops like any other
+	// parallel edge class, or multiplicities would go unchecked.
 	for _, pe := range m.pattern.OutEdges(pv) {
 		ped := m.pattern.Edge(pe)
 		tu := m.assigned[ped.To]
+		if ped.To == pv {
+			tu = tv
+		}
 		if tu < 0 {
 			continue
 		}

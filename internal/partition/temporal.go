@@ -33,6 +33,14 @@ type TemporalOptions struct {
 	// component splitting — the paper's final run was "limited to
 	// dates with fewer than 200 distinct vertex labels" (Table 3).
 	MaxVertexLabels int
+	// MaxDays, when > 0, keeps only the earliest MaxDays calendar
+	// days (applied after day bucketing, before any per-day work).
+	// Because days are processed in calendar order and each day's
+	// transactions depend on nothing outside the day, a MaxDays=k run
+	// produces a transaction list that is an exact prefix of the
+	// MaxDays=k+1 run's — the arrival simulation knob delta mining's
+	// end-to-end checks fold forward over. 0 keeps every day.
+	MaxDays int
 	// Parallelism is the worker count for building the ~180 per-day
 	// transaction batches (graph build, dedup, filtering, component
 	// split — each day is independent). <= 0 selects GOMAXPROCS; 1
@@ -98,6 +106,9 @@ func Temporal(d *dataset.Dataset, opts TemporalOptions) *TemporalResult {
 		days = append(days, day)
 	}
 	sort.Strings(days)
+	if opts.MaxDays > 0 && len(days) > opts.MaxDays {
+		days = days[:opts.MaxDays]
+	}
 
 	res := &TemporalResult{DaysTotal: len(days)}
 

@@ -215,14 +215,77 @@ type CountStats struct {
 // Support counts are exact in every tier.
 func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, code string, newEdge graph.EdgeID, tidFilter []int, opts CountOptions) (*Pattern, CountStats) {
 	out := &Pattern{Graph: child, Code: code}
-	var st CountStats
-	budget := opts.MaxEmbeddings
-	retained := 0
-
-	complete := parent.HasEmbeddings()
-	if !complete {
+	if !parent.HasEmbeddings() {
 		out.Overflowed = true // seeds (or their absence) beget seeds
 	}
+	st := countExtensionInto(out, 0, txns, parent, newEdge, tidFilter, opts)
+	return out, st
+}
+
+// CountExtensionFrom continues an extension count from a previously
+// counted column: base already holds the child pattern's graph, code,
+// TID list and embedding lists over the transactions of a prior run
+// (a store record rebased onto the child's IDs — see Rebase), and
+// counting proceeds over tidFilter, which must be ascending, disjoint
+// from and strictly after base.TIDs (the delta-appended transaction
+// range). This is the TID-column append of incremental delta mining:
+// a pattern already proven over the old transactions pays only for
+// the new ones.
+//
+// The embedding budget resumes where the base column left off (base's
+// retained embeddings count against opts.MaxEmbeddings exactly as if
+// the whole column had been enumerated in one run), the merged column
+// can only stay complete when both the base column and the parent's
+// lists are complete, and a base without lists (a bare store record)
+// keeps the merged column bare — new TIDs are decided by existence
+// only. Supports and TID lists are exact in every case. base is
+// mutated in place and returned.
+func CountExtensionFrom(base *Pattern, txns []*graph.Graph, parent *Pattern, newEdge graph.EdgeID, tidFilter []int, opts CountOptions) (*Pattern, CountStats) {
+	if base.Embs == nil && len(base.TIDs) > 0 {
+		// No old lists to align appended lists with: the merged
+		// column stays bare (Embs nil) and overflowed.
+		base.Overflowed = true
+	}
+	if !parent.HasEmbeddings() {
+		// New-TID lists extended from seeds cannot be proven
+		// complete, so the merged column cannot be either.
+		base.Overflowed = true
+	}
+	if opts.MaxEmbeddings > 0 && !base.Overflowed && base.NumEmbeddings() > opts.MaxEmbeddings {
+		// The resumed column already exceeds this run's budget (the
+		// prior run was mined under a larger or unlimited one).
+		// Demote before resuming, exactly where the one-shot meter
+		// would have tripped — otherwise lim would go non-positive in
+		// the loop, which ExtendEmbedding reads as unlimited, and the
+		// appended transactions would enumerate with no cap at all.
+		base.Overflowed = true
+	}
+	if base.Overflowed && base.Embs != nil {
+		base.DemoteToSeeds() // honor the seeds-only invariant of Overflowed
+	}
+	retained := 0
+	if !base.Overflowed {
+		retained = base.NumEmbeddings()
+	}
+	st := countExtensionInto(base, retained, txns, parent, newEdge, tidFilter, opts)
+	return base, st
+}
+
+// countExtensionInto is the shared counting loop of CountExtension
+// and CountExtensionFrom: it appends the supported transactions of
+// tidFilter (and their embedding lists, when out tracks lists) to
+// out, with retained complete-list embeddings already counted against
+// the budget.
+func countExtensionInto(out *Pattern, retained int, txns []*graph.Graph, parent *Pattern, newEdge graph.EdgeID, tidFilter []int, opts CountOptions) CountStats {
+	var st CountStats
+	budget := opts.MaxEmbeddings
+	child := out.Graph
+
+	complete := parent.HasEmbeddings()
+	// A column that starts bare but non-empty (CountExtensionFrom on
+	// a bare base) must stay bare: appended lists could not align
+	// with the TIDs already present.
+	trackLists := out.Embs != nil || len(out.TIDs) == 0
 	fi := 0
 	var buf []iso.DenseEmbedding
 	for pi, tid := range parent.TIDs {
@@ -245,7 +308,8 @@ func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, co
 		txn := txns[tid]
 
 		// Extend the parent's embeddings (all of them when both sides
-		// are complete, else up to SeedsPerTID hits).
+		// are complete, else up to SeedsPerTID hits; a single hit
+		// decides a column that keeps no lists).
 		lim := SeedsPerTID
 		if complete && !out.Overflowed {
 			lim = 0
@@ -253,12 +317,15 @@ func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, co
 				lim = budget - retained + 1
 			}
 		}
+		if !trackLists {
+			lim = 1
+		}
 		buf = buf[:0]
 		overBudget := false
 		for _, pe := range pembs {
 			buf = iso.ExtendEmbedding(txn, child, pe, newEdge, lim, buf)
 			if lim > 0 && len(buf) >= lim {
-				overBudget = complete && !out.Overflowed
+				overBudget = complete && !out.Overflowed && trackLists
 				break
 			}
 		}
@@ -280,7 +347,9 @@ func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, co
 			}
 			st.Generated += len(embs)
 			out.TIDs = append(out.TIDs, tid)
-			out.Embs = append(out.Embs, embs)
+			if trackLists {
+				out.Embs = append(out.Embs, embs)
+			}
 			continue
 		}
 
@@ -294,13 +363,112 @@ func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, co
 				buf = buf[:SeedsPerTID]
 			}
 		}
-		out.Embs = append(out.Embs, append([]iso.DenseEmbedding(nil), buf...))
-		if !out.Overflowed {
-			retained += len(buf)
+		if trackLists {
+			out.Embs = append(out.Embs, append([]iso.DenseEmbedding(nil), buf...))
+			if !out.Overflowed {
+				retained += len(buf)
+			}
 		}
 	}
 	out.Support = len(out.TIDs)
-	return out, st
+	return st
+}
+
+// Rebase re-expresses a stored pattern over child's vertex/edge IDs:
+// child must be isomorphic to stored.Graph (the caller certifies this
+// with equal exact canonical codes), and the result carries child as
+// its graph with every embedding list rewritten into child's dense ID
+// space, so a delta run can graft a persisted TID column onto the
+// candidate graph its own candidate generation produced. TID lists
+// are copied (the delta loop appends to them); embedding contents are
+// shared read-only with stored. A stored record without lists rebases
+// to a bare overflowed column. Returns false when no isomorphism from
+// stored.Graph onto child exists — the codes lied — in which case the
+// caller must fall back to counting from scratch.
+func Rebase(stored *Pattern, child *graph.Graph, code string) (*Pattern, bool) {
+	out := &Pattern{
+		Graph:      child,
+		Code:       code,
+		Support:    stored.Support,
+		TIDs:       append([]int(nil), stored.TIDs...),
+		Overflowed: stored.Overflowed,
+	}
+	if stored.Embs == nil {
+		if len(out.TIDs) > 0 {
+			out.Overflowed = true
+		}
+		return out, true
+	}
+	if sameDense(stored.Graph, child) {
+		// The common case: the delta run generated the candidate with
+		// exactly the construction the previous run persisted, so the
+		// ID spaces already agree and the lists transfer as-is.
+		out.Embs = append([][]iso.DenseEmbedding(nil), stored.Embs...)
+		return out, true
+	}
+	// Isomorphic but differently constructed: one small search on the
+	// pattern graphs (equal sizes, so any embedding is an isomorphism)
+	// yields the vertex/edge permutation to rewrite the lists with.
+	maps, _ := iso.Embeddings(child, stored.Graph, iso.Options{Limit: 1})
+	if len(maps) == 0 {
+		return nil, false
+	}
+	vmap, emap := maps[0].Verts, maps[0].Edges // storedID -> childID
+	out.Embs = make([][]iso.DenseEmbedding, len(stored.Embs))
+	for i, list := range stored.Embs {
+		if list == nil {
+			continue
+		}
+		rewritten := make([]iso.DenseEmbedding, len(list))
+		for j, emb := range list {
+			verts := make([]graph.VertexID, len(emb.Verts))
+			for s, tv := range emb.Verts {
+				verts[vmap[s]] = tv
+			}
+			edges := make([]graph.EdgeID, len(emb.Edges))
+			for s, te := range emb.Edges {
+				edges[emap[s]] = te
+			}
+			rewritten[j] = iso.DenseEmbedding{Verts: verts, Edges: edges}
+		}
+		out.Embs[i] = rewritten
+	}
+	return out, true
+}
+
+// sameDense reports whether two dense-ID pattern graphs are identical
+// slot for slot (same labels on the same vertex IDs, same
+// (from, to, label) on the same edge IDs) — the cheap identity test
+// that lets Rebase skip the isomorphism search when the delta run
+// reconstructed a candidate exactly as the previous run built it.
+func sameDense(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.VertexCap() != b.VertexCap() || a.EdgeCap() != b.EdgeCap() {
+		return false
+	}
+	for id := 0; id < a.VertexCap(); id++ {
+		v := graph.VertexID(id)
+		if a.HasVertex(v) != b.HasVertex(v) {
+			return false
+		}
+		if a.HasVertex(v) && a.Vertex(v).Label != b.Vertex(v).Label {
+			return false
+		}
+	}
+	for id := 0; id < a.EdgeCap(); id++ {
+		e := graph.EdgeID(id)
+		if a.HasEdge(e) != b.HasEdge(e) {
+			return false
+		}
+		if !a.HasEdge(e) {
+			continue
+		}
+		ea, eb := a.Edge(e), b.Edge(e)
+		if ea.From != eb.From || ea.To != eb.To || ea.Label != eb.Label {
+			return false
+		}
+	}
+	return true
 }
 
 // EnforceBudget walks patterns in order and demotes complete

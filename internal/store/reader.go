@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -415,6 +416,107 @@ func (r *Reader) PatternLite(i int) (*pattern.Pattern, error) {
 		return nil, fmt.Errorf("store: %s record %d: %w", r.path, i, d.err)
 	}
 	return p, nil
+}
+
+// Transactions decodes the whole stored transaction set in TID order
+// (through the cache, so graphs are shared with other callers and
+// must be treated as read-only) — the bulk half of the reader→writer
+// rehydration path delta mining runs on.
+func (r *Reader) Transactions() ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, len(r.txnSpan))
+	for tid := range r.txnSpan {
+		g, err := r.Transaction(tid)
+		if err != nil {
+			return nil, err
+		}
+		out[tid] = g
+	}
+	return out, nil
+}
+
+// LevelPatterns decodes every pattern record of the level with the
+// given edge count, in store order, embeddings included — the pattern
+// half of the rehydration path. A level the store does not hold
+// returns an empty slice.
+func (r *Reader) LevelPatterns(edges int) ([]pattern.Pattern, error) {
+	start, end := r.LevelRange(edges)
+	out := make([]pattern.Pattern, 0, end-start)
+	for i := start; i < end; i++ {
+		p, err := r.Pattern(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+// AllLevelPatterns rehydrates every stored level, keyed by edge
+// count — the Prior.Levels shape delta mining consumes.
+func (r *Reader) AllLevelPatterns() (map[int][]pattern.Pattern, error) {
+	out := make(map[int][]pattern.Pattern, len(r.levels))
+	for _, lv := range r.levels {
+		pats, err := r.LevelPatterns(lv.edges)
+		if err != nil {
+			return nil, err
+		}
+		out[lv.edges] = pats
+	}
+	return out, nil
+}
+
+// ValidateDeltaSource checks the properties every delta consumer
+// needs from an opened source store, in one place so the flag-time
+// pre-flights (cmd/tndtemporal, cmd/tndfsg) and the mining-time
+// checks (core's DeltaFrom paths) cannot drift: exact canonical
+// codes (format v2+ — approximate v1 codes cannot key delta dedup),
+// and the right store kind — structural (Algorithm 1, which also
+// needs repetition provenance to continue the RNG stream) or a
+// transaction-set store (fsg/temporal). Deeper validation (prefix
+// match, parameter match) needs the run's own inputs and stays with
+// the pipelines.
+func (r *Reader) ValidateDeltaSource(structural bool) error {
+	kind := r.meta.Kind
+	if structural {
+		if kind != "structural" {
+			return fmt.Errorf("store: delta source %s has kind %q, want \"structural\" — fold transaction-set stores with the temporal delta path instead", r.path, kind)
+		}
+	} else if kind == "structural" {
+		return fmt.Errorf("store: delta source %s is an Algorithm 1 store (one record per repetition) — fold repetitions into it with the structural delta path instead", r.path)
+	}
+	if !r.Exact() {
+		return fmt.Errorf("store: delta source %s is a version-%d store with approximate codes — re-mine it with this build first", r.path, r.Version())
+	}
+	if structural && r.meta.Repetitions < 1 {
+		return fmt.Errorf("store: delta source %s records no repetition provenance — written before delta mining existed; re-mine it with this build first", r.path)
+	}
+	return nil
+}
+
+// VerifyPrefix checks that this store's transaction set is exactly
+// the first NumTransactions entries of txns, byte-for-byte under the
+// store codec. Delta mining rests on stored TID lists staying valid
+// over the combined transaction list, which they only do when the new
+// list extends the old one — a reordered partition, a different
+// dataset or a mismatched filter all fail here with the first
+// offending TID instead of silently mining garbage.
+func (r *Reader) VerifyPrefix(txns []*graph.Graph) error {
+	if len(txns) < len(r.txnSpan) {
+		return fmt.Errorf("store: %s holds %d transactions but only %d were supplied — the new transaction set must extend the stored one", r.path, len(r.txnSpan), len(txns))
+	}
+	var e enc
+	for tid := range r.txnSpan {
+		stored, err := r.readSpan(r.txnSpan[tid])
+		if err != nil {
+			return err
+		}
+		e.buf = e.buf[:0]
+		encodeGraph(&e, txns[tid])
+		if !bytes.Equal(stored, e.buf) {
+			return fmt.Errorf("store: %s transaction %d differs from the supplied transaction set — not a prefix, cannot delta-mine from this store", r.path, tid)
+		}
+	}
+	return nil
 }
 
 // Transaction decodes transaction tid, caching the result; repeated

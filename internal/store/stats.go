@@ -79,6 +79,13 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, " created=%s", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
 	}
 	b.WriteByte('\n')
+	if m.Parent != "" || m.Generation > 0 {
+		fmt.Fprintf(&b, "delta: generation=%d parent=%s\n", m.Generation, m.Parent)
+	}
+	if m.Repetitions > 0 {
+		fmt.Fprintf(&b, "algorithm1: repetitions=%d partitions=%d strategy=%s seed=%d\n",
+			m.Repetitions, m.Partitions, m.Strategy, m.Seed)
+	}
 	if m.Note != "" {
 		fmt.Fprintf(&b, "note: %s\n", m.Note)
 	}
@@ -105,4 +112,34 @@ func orUnset(s string) string {
 		return "unset"
 	}
 	return s
+}
+
+// DumpPatterns renders every pattern record as one line of exact
+// mining output — level, canonical code, support, full TID list — in
+// store order, with nothing time-, path- or provenance-dependent.
+// Two stores hold the same mining result if and only if their dumps
+// are equal, which is what the delta-mining end-to-end check diffs
+// (`tndstats -store x -patterns`): a delta fold must be
+// line-for-line identical to the full re-mine it replaces.
+func DumpPatterns(r *Reader) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transactions=%d patterns=%d\n", r.NumTransactions(), r.NumPatterns())
+	for _, lv := range r.levels {
+		fmt.Fprintf(&b, "level %d: %d patterns\n", lv.edges, lv.count)
+		for i := lv.start; i < lv.start+lv.count; i++ {
+			p, err := r.PatternLite(i)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "  %s support=%d tids=", p.Code, p.Support)
+			for j, tid := range p.TIDs {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", tid)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
 }

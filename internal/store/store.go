@@ -99,6 +99,36 @@ type Meta struct {
 	// Note carries free-form provenance (repetition layout, abort
 	// reasons, ...).
 	Note string `json:"note,omitempty"`
+
+	// Delta provenance. A store produced by folding new transactions
+	// into a previous store (core MineDelta paths) records its parent
+	// chain here; a full mine leaves both zero. Meta is JSON in the
+	// index block, so these fields read back as zero values from
+	// stores written before they existed — no format-version bump.
+
+	// Parent is the path of the store this one was delta-mined from
+	// ("" for a full mine).
+	Parent string `json:"parent,omitempty"`
+	// Generation counts delta generations: 0 for a full mine, parent
+	// generation + 1 for each fold.
+	Generation int `json:"generation,omitempty"`
+
+	// Algorithm 1 provenance (Kind "structural" only): the exact
+	// partitioning parameters of the run, which a structural delta
+	// (appending repetitions) must reproduce to keep the shared RNG
+	// stream — and therefore the mined output — identical to a full
+	// run at the combined repetition count.
+
+	// Repetitions is the number of Algorithm 1 repetitions whose
+	// records the store holds.
+	Repetitions int `json:"repetitions,omitempty"`
+	// Partitions is Algorithm 1's k.
+	Partitions int `json:"partitions,omitempty"`
+	// Seed is the partitioning RNG seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Strategy is the SplitGraph traversal order ("breadth-first" /
+	// "depth-first").
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // pattern record flags.
