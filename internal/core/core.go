@@ -408,11 +408,10 @@ func writeStructuralStore(path, name string, prev *store.Reader, partitionings [
 	for rep, run := range runs {
 		for i := range run.Patterns {
 			p := run.Patterns[i] // copy; TIDs replaced, embeddings shared read-only
-			shifted := make([]int, len(p.TIDs))
-			for j, tid := range p.TIDs {
-				shifted[j] = tid + offsets[rep]
+			p.TIDs = p.TIDs.Offset(offsets[rep])
+			if p.Partial.Len() > 0 {
+				p.Partial = p.Partial.Offset(offsets[rep])
 			}
-			p.TIDs = shifted
 			byEdges[p.Graph.NumEdges()] = append(byEdges[p.Graph.NumEdges()], p)
 		}
 	}

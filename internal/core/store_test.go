@@ -121,11 +121,7 @@ func TestMineStructuralPersistsStore(t *testing.T) {
 				if got.Graph.Dump() != want.Graph.Dump() {
 					continue
 				}
-				shifted := make([]int, len(want.TIDs))
-				for j, tid := range want.TIDs {
-					shifted[j] = tid + offset
-				}
-				if reflect.DeepEqual(got.TIDs, shifted) {
+				if got.TIDs.Equal(want.TIDs.Offset(offset)) {
 					found = true
 					break
 				}

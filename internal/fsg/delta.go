@@ -35,7 +35,6 @@ package fsg
 
 import (
 	"fmt"
-	"sort"
 
 	"tnkd/internal/graph"
 	"tnkd/internal/pattern"
@@ -131,9 +130,8 @@ func (m *miner) priorAt(edges int, code string) *Pattern {
 
 // deltaFilter restricts a candidate TID filter to the appended
 // transactions — the only TIDs a store-reused candidate still has to
-// count. Filters are ascending, so this is the tail at newStart;
-// the sub-slice shares the filter's backing array read-only.
-func (m *miner) deltaFilter(filter []int) []int {
-	i := sort.SearchInts(filter, m.newStart)
-	return filter[i:]
+// count. On bitset columns this trims whole containers below
+// newStart's chunk in one step.
+func (m *miner) deltaFilter(filter pattern.TIDSet) pattern.TIDSet {
+	return filter.TrimBelow(m.newStart)
 }

@@ -8,6 +8,7 @@ import (
 
 	"tnkd/internal/graph"
 	"tnkd/internal/iso"
+	"tnkd/internal/pattern"
 )
 
 // groupByEdges shapes a mined result as Prior.Levels.
@@ -91,7 +92,7 @@ func TestMineDeltaMatchesFullMine(t *testing.T) {
 			if !p.HasEmbeddings() {
 				continue
 			}
-			for j, tid := range p.TIDs {
+			for j, tid := range p.TIDs.All() {
 				if want := iso.CountEmbeddings(p.Graph, txns[tid], 0); len(p.Embs[j]) != want {
 					t.Fatalf("trial %d pattern %q tid %d: delta kept %d embeddings, full enumeration has %d",
 						trial, p.Code, tid, len(p.Embs[j]), want)
@@ -176,7 +177,7 @@ func TestMineDeltaRejectsBadPrior(t *testing.T) {
 	b := g.AddVertex("B")
 	g.AddEdge(a, b, "x")
 	opts := Options{MinSupport: 1}
-	pat := Pattern{Graph: g, Code: iso.Code(g), Support: 1, TIDs: []int{0}}
+	pat := Pattern{Graph: g, Code: iso.Code(g), Support: 1, TIDs: pattern.NewTIDSet(0)}
 
 	approx := pat
 	approx.Code = "~deadbeef"

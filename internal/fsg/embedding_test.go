@@ -57,7 +57,7 @@ func TestEmbeddingSupportsMatchFullIso(t *testing.T) {
 			continue
 		}
 		// Stored embedding lists vs full enumeration per transaction.
-		for j, tid := range p.TIDs {
+		for j, tid := range p.TIDs.All() {
 			want := iso.CountEmbeddings(p.Graph, txns[tid], 0)
 			if len(p.Embs[j]) != want {
 				t.Fatalf("pattern %d tid %d: stored %d embeddings, full search %d",

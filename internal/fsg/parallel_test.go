@@ -59,8 +59,9 @@ func motifTxns(n int, seed int64) []*graph.Graph {
 }
 
 // TestMineDeterministicAcrossParallelism asserts bit-identical output
-// at Parallelism 1, 4 and GOMAXPROCS, with and without a step budget.
-// Run under -race this also exercises the engine fan-out for safety.
+// at Parallelism 0 (auto), 1, 4 and GOMAXPROCS, with and without a
+// step budget. Run under -race this also exercises the engine fan-out
+// for safety.
 func TestMineDeterministicAcrossParallelism(t *testing.T) {
 	txns := motifTxns(24, 7)
 	for _, tc := range []struct {
@@ -73,7 +74,7 @@ func TestMineDeterministicAcrossParallelism(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var want string
-			for _, p := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			for _, p := range []int{1, 4, 0, runtime.GOMAXPROCS(0)} {
 				opts := tc.opts
 				opts.Parallelism = p
 				res, err := Mine(txns, opts)

@@ -137,7 +137,14 @@ type labeler struct {
 	vlabScratch []string
 	// form rendering scratch
 	formBuf []byte
+	// interchangeable-cell certificate scratch
+	fpSig, fpRefSig, fpIntra []uint64
 }
+
+// canonNoFastPath disables the interchangeable-cell short-circuit.
+// Tests flip it to cross-check the fast path against the exhaustive
+// search on the same graphs.
+var canonNoFastPath = false
 
 // maxGens caps the retained automorphism generators: pruning stays
 // sound with any subset, and pathological searches must not grow
@@ -416,6 +423,17 @@ func (l *labeler) search(colors []int32, depth, divergedAt int, leftmost bool) {
 			cell = append(cell, int32(v))
 		}
 	}
+	if len(cell) > 1 && !canonNoFastPath && l.interchangeable(colors, cell, target) {
+		// Every member of the cell is provably in one orbit of the
+		// prefix-stabilising automorphism group, so each member's
+		// subtree yields the same set of leaf forms: exploring the
+		// first alone is the generator-based orbit pruning below,
+		// computed directly instead of waiting for discovered
+		// generators. High-automorphism shapes (stars, complete
+		// bipartite cores) collapse from factorial fan-out to a single
+		// descent.
+		cell = cell[:1]
+	}
 	firstDescent := !l.haveFirst
 	if firstDescent {
 		l.firstPath = append(l.firstPath, -1)
@@ -469,6 +487,96 @@ func (l *labeler) search(colors []int32, depth, divergedAt int, leftmost bool) {
 			l.jump = -1 // this node is the target: continue siblings
 		}
 	}
+}
+
+// Tags for the combined per-member signature interchangeable builds:
+// external arcs are raw adjArc entries (< 2^53), self-loops and
+// normalised intra-cell arcs are tagged into disjoint high-bit ranges.
+const (
+	fpSelfTag  = uint64(1) << 62
+	fpIntraTag = uint64(1) << 63
+)
+
+// interchangeable reports whether swapping any two members of the
+// target cell is an automorphism of the dense graph, which proves the
+// whole cell is a single orbit of the automorphism group fixing the
+// individualised prefix (prefix vertices are singletons, hence
+// outside the cell). The certificate:
+//
+//	(a) every member carries the same multiset of (labdir, neighbor)
+//	    arcs to vertices outside the cell — the same actual
+//	    neighbors, not just the same neighbor colors;
+//	(b) every member carries the same self-loop labdir multiset;
+//	(c) intra-cell arcs are absent or uniformly coupled: every member
+//	    reaches every other member, with the same labdir multiset on
+//	    every ordered pair.
+//
+// Under (a)-(c) a transposition of two members fixes all external
+// arcs, maps self-loops onto equal self-loops, and permutes the
+// uniform intra-cell arcs among themselves — an automorphism. The
+// symmetric group on the cell therefore acts by prefix-fixing
+// automorphisms, which is exactly the premise the generator-based
+// orbit pruning in search relies on; the resulting canonical form is
+// byte-identical with the fast path on or off.
+func (l *labeler) interchangeable(colors []int32, cell []int32, target int32) bool {
+	ok := true
+	refSig := l.fpRefSig[:0]
+	sig := l.fpSig[:0]
+	intra := l.fpIntra[:0]
+	for mi, v := range cell {
+		sig = sig[:0]
+		intra = intra[:0]
+		for k := l.adjOff[v]; k < l.adjOff[v+1]; k++ {
+			a := l.adjArc[k]
+			w := int32(a & arcLow)
+			switch {
+			case w == v:
+				sig = append(sig, fpSelfTag|(a>>32))
+			case colors[w] == target:
+				// Sortable by (partner, labdir): labdir < 2^21,
+				// partner < 2^20 (maxCanonVertices).
+				intra = append(intra, uint64(w)<<22|(a>>32))
+			default:
+				sig = append(sig, a)
+			}
+		}
+		// Per-member uniformity of the intra-cell coupling: the sorted
+		// arcs must split into len(cell)-1 equal-size blocks, each a
+		// single partner, all with element-wise equal labdir runs (or
+		// there are no intra arcs at all). Together with the
+		// cross-member signature comparison below — which carries the
+		// partner-stripped intra multiset — a pass means every member
+		// reaches every other member with one shared labdir multiset.
+		sortU64Long(intra)
+		if len(intra) > 0 {
+			if len(intra)%(len(cell)-1) != 0 {
+				ok = false
+				break
+			}
+			per := len(intra) / (len(cell) - 1)
+			for i, x := range intra {
+				if x>>22 != intra[(i/per)*per]>>22 || x&(1<<22-1) != intra[i%per]&(1<<22-1) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		for _, x := range intra {
+			sig = append(sig, fpIntraTag|(x&(1<<22-1)))
+		}
+		sortU64Long(sig)
+		if mi == 0 {
+			refSig = append(refSig[:0], sig...)
+		} else if !equalU64(sig, refSig) {
+			ok = false
+			break
+		}
+	}
+	l.fpSig, l.fpRefSig, l.fpIntra = sig[:0], refSig[:0], intra[:0]
+	return ok
 }
 
 // targetCell picks the first smallest non-singleton cell.

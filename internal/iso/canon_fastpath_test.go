@@ -1,0 +1,164 @@
+package iso
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tnkd/internal/graph"
+)
+
+// withoutFastPath runs f with the interchangeable-cell short-circuit
+// disabled — the exhaustive individualisation search the fast path
+// must be byte-identical to.
+func withoutFastPath(f func()) {
+	canonNoFastPath = true
+	defer func() { canonNoFastPath = false }()
+	f()
+}
+
+// fastPathFixtures are the shapes the certificate must handle on both
+// sides: ones where it fires (stars, cliques, complete bipartite,
+// independent sets inside larger graphs) and ones where it must
+// refuse (cycles, matchings, near-symmetric graphs with one defect).
+func fastPathFixtures() map[string]*graph.Graph {
+	gs := map[string]*graph.Graph{
+		"star5":       benchStar(5),
+		"star20":      benchStar(20),
+		"star60":      benchStar(60),
+		"cycle12":     benchCycle("c12f", 12),
+		"bipartite44": benchGraphs()["bipartite44"],
+		"pattern6":    benchGraphs()["pattern6"],
+	}
+
+	// Directed clique K5: uniform all-ordered-pairs coupling.
+	k5 := graph.New("k5")
+	var kv []graph.VertexID
+	for i := 0; i < 5; i++ {
+		kv = append(kv, k5.AddVertex("*"))
+	}
+	for _, u := range kv {
+		for _, v := range kv {
+			if u != v {
+				k5.AddEdge(u, v, "e")
+			}
+		}
+	}
+	gs["clique5"] = k5
+
+	// Symmetric clique with self-loops on every vertex.
+	loop := graph.New("loopclique")
+	var lv []graph.VertexID
+	for i := 0; i < 4; i++ {
+		lv = append(lv, loop.AddVertex("*"))
+	}
+	for _, u := range lv {
+		loop.AddEdge(u, u, "s")
+		for _, v := range lv {
+			if u != v {
+				loop.AddEdge(u, v, "e")
+			}
+		}
+	}
+	gs["loopclique4"] = loop
+
+	// Perfect matching: one refinement cell, but transpositions across
+	// pairs are not automorphisms — the certificate must refuse.
+	match := graph.New("matching")
+	for i := 0; i < 5; i++ {
+		a := match.AddVertex("*")
+		b := match.AddVertex("*")
+		match.AddEdge(a, b, "e")
+		match.AddEdge(b, a, "e")
+	}
+	gs["matching5"] = match
+
+	// Star with one defective spoke (a doubled edge): the spoke cell
+	// splits after refinement; the remaining cell is interchangeable.
+	defect := graph.New("defectstar")
+	hub := defect.AddVertex("*")
+	for i := 0; i < 12; i++ {
+		s := defect.AddVertex("*")
+		defect.AddEdge(hub, s, "w")
+		if i == 0 {
+			defect.AddEdge(hub, s, "w")
+		}
+	}
+	gs["defectstar"] = defect
+
+	// Double star: two hubs joined by an edge, each with its own spoke
+	// set — two interchangeable cells alive at once.
+	double := graph.New("doublestar")
+	h1 := double.AddVertex("h")
+	h2 := double.AddVertex("h")
+	double.AddEdge(h1, h2, "b")
+	for i := 0; i < 8; i++ {
+		double.AddEdge(h1, double.AddVertex("*"), "w")
+		double.AddEdge(h2, double.AddVertex("*"), "w")
+	}
+	gs["doublestar"] = double
+
+	return gs
+}
+
+// TestFastPathMatchesExhaustiveSearch pins the tentpole invariant:
+// the interchangeable-cell short-circuit changes nothing about the
+// canonical form, on symmetric shapes where it fires and asymmetric
+// ones where it must refuse.
+func TestFastPathMatchesExhaustiveSearch(t *testing.T) {
+	for name, g := range fastPathFixtures() {
+		fast := Code(g)
+		var slow string
+		withoutFastPath(func() { slow = Code(g) })
+		if fast != slow {
+			t.Errorf("%s: fast path code %q != exhaustive %q", name, fast, slow)
+		}
+	}
+}
+
+// TestFastPathMatchesOnRandomGraphs fuzzes the equality over random
+// multigraphs (self-loops, parallel edges, skewed label alphabets
+// that manufacture large refinement cells).
+func TestFastPathMatchesOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 300; trial++ {
+		g := graph.New(fmt.Sprintf("r%d", trial))
+		nv := 2 + rng.Intn(9)
+		labels := 1 + rng.Intn(3) // few labels: big symmetric cells
+		for i := 0; i < nv; i++ {
+			g.AddVertex(fmt.Sprintf("L%d", rng.Intn(labels)))
+		}
+		ne := rng.Intn(2 * nv)
+		for i := 0; i < ne; i++ {
+			g.AddEdge(graph.VertexID(rng.Intn(nv)), graph.VertexID(rng.Intn(nv)),
+				fmt.Sprintf("w%d", rng.Intn(2)))
+		}
+		fast := Code(g)
+		var slow string
+		withoutFastPath(func() { slow = Code(g) })
+		if fast != slow {
+			t.Fatalf("trial %d: fast %q != slow %q\n%s", trial, fast, slow, g.Dump())
+		}
+	}
+}
+
+// TestFastPathStar60Budget pins the acceptance criterion that
+// motivated the fast path: the 60-spoke star — 60! orderings in one
+// refinement class, 4.97ms under the exhaustive search — must code in
+// under a millisecond.
+func TestFastPathStar60Budget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock budget is meaningless under the race detector")
+	}
+	g := benchStar(60)
+	Code(g) // warm the pool
+	const reps = 20
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		Code(g)
+	}
+	if per := time.Since(start) / reps; per > time.Millisecond {
+		t.Fatalf("star60 canonical code took %v per call, budget 1ms", per)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package iso
+
+// raceEnabled reports whether the race detector instruments this
+// build; wall-clock budget tests skip themselves under it.
+const raceEnabled = false

@@ -47,25 +47,36 @@ type Pattern struct {
 	// (pre-canonical miners); only that compat path still needs the
 	// SameGraph fallback on equality.
 	Code string
-	// Support is the number of supporting transactions, len(TIDs).
+	// Support is the number of supporting transactions, TIDs.Len().
 	Support int
-	// TIDs are the indices of supporting transactions, ascending.
-	TIDs []int
+	// TIDs is the set of supporting transaction indices, stored as
+	// word-parallel roaring-style containers; positional iteration
+	// (TIDs.All) is ascending and aligns with Embs.
+	TIDs TIDSet
 	// Embs, when tracked, holds one embedding list per supporting
-	// transaction, aligned with TIDs. With Overflowed unset the lists
-	// are complete: every embedding of Graph in txns[TIDs[i]] appears
-	// in Embs[i] exactly once. (A list may be empty in the degenerate
-	// case of a transaction supporting a single-edge pattern only
-	// through self-loops, which admit no injective embedding.) With
-	// Overflowed set the lists are seeds — at most SeedsPerTID true
-	// embeddings per transaction that warm-start extension counting
-	// but cannot prove absence.
+	// transaction, aligned positionally with TIDs. With Overflowed
+	// unset the lists are complete: every embedding of Graph in
+	// txns[tid] appears in the tid's list exactly once. (A list may be
+	// empty in the degenerate case of a transaction supporting a
+	// single-edge pattern only through self-loops, which admit no
+	// injective embedding.) With Overflowed set, the lists of the TIDs
+	// in Partial are seeds — at most SeedsPerTID true embeddings that
+	// warm-start extension counting but cannot prove absence — while
+	// the lists of TIDs outside Partial are still complete.
 	Embs [][]iso.DenseEmbedding
-	// Overflowed marks that the complete enumeration exceeded its
-	// budget: support data stays valid and Embs (if non-nil) holds
-	// seeds, but deciding an extension's support may need a fallback
-	// isomorphism search.
+	// Overflowed marks that at least one transaction's complete
+	// enumeration exceeded its budget (or that lists were dropped
+	// entirely): support data stays valid, and Partial says which
+	// per-TID lists are seeds rather than complete.
 	Overflowed bool
+	// Partial, on an Overflowed pattern with lists, is the subset of
+	// TIDs whose lists are seeds-only. A pattern demoted wholesale has
+	// Partial == TIDs; a pattern whose budget tripped midway keeps its
+	// already-complete prefix outside Partial, so one exploding
+	// transaction no longer costs the whole pattern its lists. Empty
+	// on an Overflowed pattern means "unknown" (legacy data): every
+	// list is treated as seeds.
+	Partial TIDSet
 }
 
 // SeedsPerTID is the number of embeddings retained per transaction
@@ -78,7 +89,7 @@ type Pattern struct {
 const SeedsPerTID = 2
 
 // HasEmbeddings reports whether the per-TID embedding lists are
-// present and complete.
+// present and all complete.
 func (p *Pattern) HasEmbeddings() bool {
 	return !p.Overflowed && p.Embs != nil
 }
@@ -86,6 +97,20 @@ func (p *Pattern) HasEmbeddings() bool {
 // HasSeeds reports whether at least warm-start seed lists are
 // present.
 func (p *Pattern) HasSeeds() bool { return p.Embs != nil }
+
+// CompleteAt reports whether the pattern's embedding list for tid is
+// a complete enumeration (tid must be a member of TIDs): true for an
+// unoverflowed tracked pattern, and true on an overflowed one exactly
+// when per-TID retention kept that transaction's list out of Partial.
+func (p *Pattern) CompleteAt(tid int) bool {
+	if p.Embs == nil {
+		return false
+	}
+	if !p.Overflowed {
+		return true
+	}
+	return p.Partial.Len() > 0 && !p.Partial.Contains(tid)
+}
 
 // NumEmbeddings returns the total number of stored embeddings across
 // all TIDs.
@@ -97,17 +122,42 @@ func (p *Pattern) NumEmbeddings() int {
 	return n
 }
 
+// retainedEmbeddings counts the embeddings held in complete lists —
+// the unit the MaxEmbeddings meter budgets. Seeds (the Partial TIDs'
+// lists) sit outside the meter by design.
+func (p *Pattern) retainedEmbeddings() int {
+	if p.Embs == nil {
+		return 0
+	}
+	if !p.Overflowed {
+		return p.NumEmbeddings()
+	}
+	if p.Partial.Len() == 0 {
+		return 0 // unknown which lists are complete: all treated as seeds
+	}
+	n := 0
+	cur := p.Partial.Cursor()
+	for pi, tid := range p.TIDs.All() {
+		if !cur.Contains(tid) {
+			n += len(p.Embs[pi])
+		}
+	}
+	return n
+}
+
 // DropEmbeddings discards the embedding lists entirely and marks the
 // pattern overflowed; support data is untouched. Extensions of the
 // pattern count by classic search only.
 func (p *Pattern) DropEmbeddings() {
 	p.Embs = nil
 	p.Overflowed = true
+	p.Partial = TIDSet{}
 }
 
 // DemoteToSeeds truncates each per-TID list to at most SeedsPerTID
-// embeddings and marks the pattern overflowed: what remains are
-// warm-start seeds, no longer a complete enumeration.
+// embeddings and marks the pattern overflowed with every TID partial:
+// what remains are warm-start seeds, no longer a complete
+// enumeration.
 func (p *Pattern) DemoteToSeeds() {
 	for i, l := range p.Embs {
 		if len(l) > SeedsPerTID {
@@ -115,6 +165,9 @@ func (p *Pattern) DemoteToSeeds() {
 		}
 	}
 	p.Overflowed = true
+	if p.Embs != nil {
+		p.Partial = p.TIDs.Clone()
+	}
 }
 
 // NewSingle returns a Pattern over one implicit transaction (TID 0)
@@ -125,7 +178,7 @@ func NewSingle(g *graph.Graph, code string, embs []iso.DenseEmbedding) *Pattern 
 		Graph:   g,
 		Code:    code,
 		Support: 1,
-		TIDs:    []int{0},
+		TIDs:    NewTIDSet(0),
 		Embs:    [][]iso.DenseEmbedding{embs},
 	}
 }
@@ -209,15 +262,16 @@ type CountStats struct {
 //     containment test per transaction, exactly the pre-embedding
 //     counter's cost profile.
 //
-// tidFilter must be ascending and is the candidate TID set (by
-// downward closure, the intersection of all isomorphic parents' TID
-// lists); it must be a subset of parent.TIDs on the embedding paths.
-// Support counts are exact in every tier.
-func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, code string, newEdge graph.EdgeID, tidFilter []int, opts CountOptions) (*Pattern, CountStats) {
+// The tiers apply per transaction: an overflowed parent with per-TID
+// partial retention still counts its complete-list TIDs in the first
+// tier, and only its Partial TIDs pay the seeded tier.
+//
+// tidFilter is the candidate TID set (by downward closure, the
+// intersection of all isomorphic parents' TID columns); it must be a
+// subset of parent.TIDs on the embedding paths. Support counts are
+// exact in every tier.
+func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, code string, newEdge graph.EdgeID, tidFilter TIDSet, opts CountOptions) (*Pattern, CountStats) {
 	out := &Pattern{Graph: child, Code: code}
-	if !parent.HasEmbeddings() {
-		out.Overflowed = true // seeds (or their absence) beget seeds
-	}
 	st := countExtensionInto(out, 0, txns, parent, newEdge, tidFilter, opts)
 	return out, st
 }
@@ -233,41 +287,29 @@ func CountExtension(txns []*graph.Graph, parent *Pattern, child *graph.Graph, co
 // the new ones.
 //
 // The embedding budget resumes where the base column left off (base's
-// retained embeddings count against opts.MaxEmbeddings exactly as if
-// the whole column had been enumerated in one run), the merged column
-// can only stay complete when both the base column and the parent's
-// lists are complete, and a base without lists (a bare store record)
-// keeps the merged column bare — new TIDs are decided by existence
-// only. Supports and TID lists are exact in every case. base is
-// mutated in place and returned.
-func CountExtensionFrom(base *Pattern, txns []*graph.Graph, parent *Pattern, newEdge graph.EdgeID, tidFilter []int, opts CountOptions) (*Pattern, CountStats) {
-	if base.Embs == nil && len(base.TIDs) > 0 {
+// complete-list embeddings count against opts.MaxEmbeddings exactly
+// as if the whole column had been enumerated in one run), appended
+// lists stay complete per transaction exactly when the parent's list
+// there is complete and the budget holds, and a base without lists (a
+// bare store record) keeps the merged column bare — new TIDs are
+// decided by existence only. Supports and TID lists are exact in
+// every case. base is mutated in place and returned.
+func CountExtensionFrom(base *Pattern, txns []*graph.Graph, parent *Pattern, newEdge graph.EdgeID, tidFilter TIDSet, opts CountOptions) (*Pattern, CountStats) {
+	if base.Embs == nil && base.TIDs.Len() > 0 {
 		// No old lists to align appended lists with: the merged
 		// column stays bare (Embs nil) and overflowed.
 		base.Overflowed = true
 	}
-	if !parent.HasEmbeddings() {
-		// New-TID lists extended from seeds cannot be proven
-		// complete, so the merged column cannot be either.
-		base.Overflowed = true
-	}
-	if opts.MaxEmbeddings > 0 && !base.Overflowed && base.NumEmbeddings() > opts.MaxEmbeddings {
+	if opts.MaxEmbeddings > 0 && base.retainedEmbeddings() > opts.MaxEmbeddings {
 		// The resumed column already exceeds this run's budget (the
 		// prior run was mined under a larger or unlimited one).
 		// Demote before resuming, exactly where the one-shot meter
 		// would have tripped — otherwise lim would go non-positive in
 		// the loop, which ExtendEmbedding reads as unlimited, and the
 		// appended transactions would enumerate with no cap at all.
-		base.Overflowed = true
+		base.DemoteToSeeds()
 	}
-	if base.Overflowed && base.Embs != nil {
-		base.DemoteToSeeds() // honor the seeds-only invariant of Overflowed
-	}
-	retained := 0
-	if !base.Overflowed {
-		retained = base.NumEmbeddings()
-	}
-	st := countExtensionInto(base, retained, txns, parent, newEdge, tidFilter, opts)
+	st := countExtensionInto(base, base.retainedEmbeddings(), txns, parent, newEdge, tidFilter, opts)
 	return base, st
 }
 
@@ -276,26 +318,36 @@ func CountExtensionFrom(base *Pattern, txns []*graph.Graph, parent *Pattern, new
 // tidFilter (and their embedding lists, when out tracks lists) to
 // out, with retained complete-list embeddings already counted against
 // the budget.
-func countExtensionInto(out *Pattern, retained int, txns []*graph.Graph, parent *Pattern, newEdge graph.EdgeID, tidFilter []int, opts CountOptions) CountStats {
+//
+// Completeness is decided per transaction. A budget trip truncates
+// only the tripping transaction's list to seeds (marking it Partial)
+// and stops complete retention for the rest of the loop — the
+// complete lists stored before the trip survive, so one exploding
+// transaction no longer drops the whole pattern's lists. The
+// post-trip transactions still extend the parent's complete lists
+// where it has them (absence stays provable without a search); only
+// the parent's own Partial TIDs pay the seeded tier's fallback.
+func countExtensionInto(out *Pattern, retained int, txns []*graph.Graph, parent *Pattern, newEdge graph.EdgeID, tidFilter TIDSet, opts CountOptions) CountStats {
 	var st CountStats
 	budget := opts.MaxEmbeddings
 	child := out.Graph
 
-	complete := parent.HasEmbeddings()
 	// A column that starts bare but non-empty (CountExtensionFrom on
 	// a bare base) must stay bare: appended lists could not align
 	// with the TIDs already present.
-	trackLists := out.Embs != nil || len(out.TIDs) == 0
-	fi := 0
+	trackLists := out.Embs != nil || out.TIDs.Len() == 0
+	// exhausted latches once the budget trips: later transactions
+	// keep seeds only, exactly the demoted worst case of old runs.
+	exhausted := false
+	fmax := tidFilter.Max()
+	fcur := tidFilter.Cursor()
+	pcur := parent.Partial.Cursor()
 	var buf []iso.DenseEmbedding
-	for pi, tid := range parent.TIDs {
-		for fi < len(tidFilter) && tidFilter[fi] < tid {
-			fi++
-		}
-		if fi >= len(tidFilter) {
+	for pi, tid := range parent.TIDs.All() {
+		if tid > fmax {
 			break
 		}
-		if tidFilter[fi] != tid {
+		if !fcur.Contains(tid) {
 			continue
 		}
 		// An untracked parent (no lists at all) behaves as a seeded
@@ -305,35 +357,37 @@ func countExtensionInto(out *Pattern, retained int, txns []*graph.Graph, parent 
 		if parent.Embs != nil {
 			pembs = parent.Embs[pi]
 		}
+		parentComplete := parent.Embs != nil &&
+			(!parent.Overflowed || (parent.Partial.Len() > 0 && !pcur.Contains(tid)))
 		txn := txns[tid]
 
-		// Extend the parent's embeddings (all of them when both sides
-		// are complete, else up to SeedsPerTID hits; a single hit
-		// decides a column that keeps no lists).
+		// Extend the parent's embeddings (all of them when the
+		// parent's list here is complete, else up to SeedsPerTID
+		// hits; a single hit decides a column that keeps no lists).
+		storeComplete := parentComplete && trackLists && !exhausted
 		lim := SeedsPerTID
-		if complete && !out.Overflowed {
+		if !trackLists {
+			lim = 1
+		} else if storeComplete {
 			lim = 0
 			if budget > 0 {
 				lim = budget - retained + 1
 			}
 		}
-		if !trackLists {
-			lim = 1
-		}
 		buf = buf[:0]
-		overBudget := false
+		tripped := false
 		for _, pe := range pembs {
 			buf = iso.ExtendEmbedding(txn, child, pe, newEdge, lim, buf)
 			if lim > 0 && len(buf) >= lim {
-				overBudget = complete && !out.Overflowed && trackLists
+				tripped = storeComplete
 				break
 			}
 		}
 		st.Generated += len(buf)
 
 		if len(buf) == 0 {
-			if complete {
-				continue // complete lists prove absence
+			if parentComplete {
+				continue // complete parent lists prove absence
 			}
 			// Seeds missed: a classic search decides, harvesting the
 			// child's seed on success.
@@ -346,31 +400,36 @@ func countExtensionInto(out *Pattern, retained int, txns []*graph.Graph, parent 
 				continue
 			}
 			st.Generated += len(embs)
-			out.TIDs = append(out.TIDs, tid)
+			out.TIDs.Add(tid)
 			if trackLists {
 				out.Embs = append(out.Embs, embs)
+				out.Partial.Add(tid)
+				out.Overflowed = true
 			}
 			continue
 		}
 
-		out.TIDs = append(out.TIDs, tid)
-		if overBudget {
-			// The complete enumeration just tripped the budget:
-			// demote everything stored so far to seeds and continue
-			// in seeded mode.
-			out.DemoteToSeeds()
+		out.TIDs.Add(tid)
+		if tripped {
+			// This transaction's complete enumeration just tripped
+			// the budget: keep seeds for it alone and stop complete
+			// retention from here on.
+			exhausted = true
 			if len(buf) > SeedsPerTID {
 				buf = buf[:SeedsPerTID]
 			}
 		}
 		if trackLists {
 			out.Embs = append(out.Embs, append([]iso.DenseEmbedding(nil), buf...))
-			if !out.Overflowed {
+			if storeComplete && !tripped {
 				retained += len(buf)
+			} else {
+				out.Partial.Add(tid)
+				out.Overflowed = true
 			}
 		}
 	}
-	out.Support = len(out.TIDs)
+	out.Support = out.TIDs.Len()
 	return st
 }
 
@@ -390,11 +449,12 @@ func Rebase(stored *Pattern, child *graph.Graph, code string) (*Pattern, bool) {
 		Graph:      child,
 		Code:       code,
 		Support:    stored.Support,
-		TIDs:       append([]int(nil), stored.TIDs...),
+		TIDs:       stored.TIDs.Clone(),
+		Partial:    stored.Partial.Clone(),
 		Overflowed: stored.Overflowed,
 	}
 	if stored.Embs == nil {
-		if len(out.TIDs) > 0 {
+		if out.TIDs.Len() > 0 {
 			out.Overflowed = true
 		}
 		return out, true
@@ -476,15 +536,17 @@ func sameDense(a, b *graph.Graph) bool {
 // budget (0 = unlimited) — the level-wide memory meter, the embedding
 // analogue of FSG's per-level candidate budget. Seed memory
 // (SeedsPerTID per supporting transaction) sits outside the meter by
-// design. It returns the number of complete-list embeddings retained.
+// design, so only complete-list embeddings (a partially retained
+// pattern's complete columns included) are counted and demotable. It
+// returns the number of complete-list embeddings retained.
 func EnforceBudget(pats []Pattern, budget int) int {
 	retained := 0
 	for i := range pats {
 		p := &pats[i]
-		if !p.HasEmbeddings() {
+		n := p.retainedEmbeddings()
+		if n == 0 {
 			continue
 		}
-		n := p.NumEmbeddings()
 		if budget > 0 && retained+n > budget {
 			p.DemoteToSeeds()
 			continue

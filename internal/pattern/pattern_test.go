@@ -142,7 +142,7 @@ func TestCountExtensionIncrementalAndFallback(t *testing.T) {
 	pb := pg.AddVertex("v1")
 	pg.AddEdge(pa, pb, "e")
 	parent := &Pattern{
-		Graph: pg, Code: iso.Code(pg), Support: 2, TIDs: []int{0, 1},
+		Graph: pg, Code: iso.Code(pg), Support: 2, TIDs: NewTIDSet(0, 1),
 		Embs: [][]iso.DenseEmbedding{
 			{{Verts: []graph.VertexID{0, 1}, Edges: []graph.EdgeID{0}}},
 			{{Verts: []graph.VertexID{0, 1}, Edges: []graph.EdgeID{0}}},
@@ -181,7 +181,7 @@ func TestCountExtensionIncrementalAndFallback(t *testing.T) {
 func TestEnforceBudget(t *testing.T) {
 	mk := func(n int) Pattern {
 		embs := make([]iso.DenseEmbedding, n)
-		return Pattern{Embs: [][]iso.DenseEmbedding{embs}, TIDs: []int{0}}
+		return Pattern{Embs: [][]iso.DenseEmbedding{embs}, TIDs: NewTIDSet(0)}
 	}
 	pats := []Pattern{mk(3), mk(4), mk(2)}
 	if retained := EnforceBudget(pats, 5); retained != 5 {
@@ -242,7 +242,7 @@ func TestRebasePermutedConstruction(t *testing.T) {
 		t.Fatal("fixture graphs must share a canonical code")
 	}
 	stored := &Pattern{
-		Graph: sg, Code: code, Support: 2, TIDs: []int{0, 1},
+		Graph: sg, Code: code, Support: 2, TIDs: NewTIDSet(0, 1),
 		// Stored embeddings are in stored-ID order: Verts[sc]=2,
 		// Verts[sa]=0, Verts[sb]=1; Edges[f]=1, Edges[e]=0.
 		Embs: [][]iso.DenseEmbedding{
@@ -257,19 +257,19 @@ func TestRebasePermutedConstruction(t *testing.T) {
 	if out.Graph != child || out.Support != 2 || fmt.Sprint(out.TIDs) != "[0 1]" || !out.HasEmbeddings() {
 		t.Fatalf("rebase mangled the column: %+v", out)
 	}
-	for i, tid := range out.TIDs {
+	for i, tid := range out.TIDs.All() {
 		for _, emb := range out.Embs[i] {
 			validEmbedding(t, txns[tid], child, emb)
 		}
 	}
 	// The identity construction takes the fast path and must agree.
-	fast, ok := Rebase(&Pattern{Graph: child, Code: code, Support: 2, TIDs: []int{0, 1},
+	fast, ok := Rebase(&Pattern{Graph: child, Code: code, Support: 2, TIDs: NewTIDSet(0, 1),
 		Embs: out.Embs}, child, code)
 	if !ok || fast.NumEmbeddings() != out.NumEmbeddings() {
 		t.Fatal("identity rebase diverged")
 	}
 	// A bare record rebases to a bare overflowed column.
-	bare, ok := Rebase(&Pattern{Graph: sg, Code: code, Support: 2, TIDs: []int{0, 1}}, child, code)
+	bare, ok := Rebase(&Pattern{Graph: sg, Code: code, Support: 2, TIDs: NewTIDSet(0, 1)}, child, code)
 	if !ok || bare.Embs != nil || !bare.Overflowed {
 		t.Fatalf("bare rebase: %+v", bare)
 	}
@@ -288,7 +288,7 @@ func TestCountExtensionFromContinuesColumn(t *testing.T) {
 	pg.AddEdge(pa, pb, "e")
 	parentEmb := iso.DenseEmbedding{Verts: []graph.VertexID{0, 1}, Edges: []graph.EdgeID{0}}
 	parent := &Pattern{
-		Graph: pg, Code: iso.Code(pg), Support: 2, TIDs: []int{0, 1},
+		Graph: pg, Code: iso.Code(pg), Support: 2, TIDs: NewTIDSet(0, 1),
 		Embs: [][]iso.DenseEmbedding{{parentEmb}, {parentEmb.Clone()}},
 	}
 	child := pg.Clone()
@@ -299,9 +299,9 @@ func TestCountExtensionFromContinuesColumn(t *testing.T) {
 	oneShot, _ := CountExtension(txns, parent, child, code, ne, parent.TIDs, CountOptions{})
 
 	// The same column, counted as TID 0 from the store + TID 1 fresh.
-	base := &Pattern{Graph: child, Code: code, Support: 1, TIDs: []int{0},
+	base := &Pattern{Graph: child, Code: code, Support: 1, TIDs: NewTIDSet(0),
 		Embs: [][]iso.DenseEmbedding{append([]iso.DenseEmbedding(nil), oneShot.Embs[0]...)}}
-	cont, st := CountExtensionFrom(base, txns, parent, ne, []int{1}, CountOptions{})
+	cont, st := CountExtensionFrom(base, txns, parent, ne, NewTIDSet(1), CountOptions{})
 	if fmt.Sprint(cont.TIDs) != fmt.Sprint(oneShot.TIDs) || cont.Support != oneShot.Support {
 		t.Fatalf("continued column diverged: %v vs %v", cont.TIDs, oneShot.TIDs)
 	}
@@ -314,8 +314,8 @@ func TestCountExtensionFromContinuesColumn(t *testing.T) {
 
 	// A bare base (store record whose lists were dropped) stays bare
 	// but exact.
-	bare := &Pattern{Graph: child, Code: code, Support: 1, TIDs: []int{0}}
-	cont, _ = CountExtensionFrom(bare, txns, parent, ne, []int{1}, CountOptions{})
+	bare := &Pattern{Graph: child, Code: code, Support: 1, TIDs: NewTIDSet(0)}
+	cont, _ = CountExtensionFrom(bare, txns, parent, ne, NewTIDSet(1), CountOptions{})
 	if fmt.Sprint(cont.TIDs) != fmt.Sprint(oneShot.TIDs) || cont.Embs != nil || !cont.Overflowed {
 		t.Fatalf("bare base: tids=%v embs=%v overflowed=%v", cont.TIDs, cont.Embs, cont.Overflowed)
 	}
@@ -335,7 +335,7 @@ func TestCountExtensionFromClampsOversizedBase(t *testing.T) {
 	pg.AddEdge(pa, pb, "e")
 	parentEmb := iso.DenseEmbedding{Verts: []graph.VertexID{0, 1}, Edges: []graph.EdgeID{0}}
 	parent := &Pattern{
-		Graph: pg, Code: iso.Code(pg), Support: 2, TIDs: []int{0, 1},
+		Graph: pg, Code: iso.Code(pg), Support: 2, TIDs: NewTIDSet(0, 1),
 		Embs: [][]iso.DenseEmbedding{{parentEmb}, {parentEmb.Clone()}},
 	}
 	child := pg.Clone()
@@ -348,9 +348,9 @@ func TestCountExtensionFromClampsOversizedBase(t *testing.T) {
 	for i := range over {
 		over[i] = iso.DenseEmbedding{Verts: []graph.VertexID{0, 1, 2}, Edges: []graph.EdgeID{0, 1}}
 	}
-	base := &Pattern{Graph: child, Code: "c", Support: 1, TIDs: []int{0},
+	base := &Pattern{Graph: child, Code: "c", Support: 1, TIDs: NewTIDSet(0),
 		Embs: [][]iso.DenseEmbedding{over}}
-	got, _ := CountExtensionFrom(base, txns, parent, ne, []int{1}, CountOptions{MaxEmbeddings: 3})
+	got, _ := CountExtensionFrom(base, txns, parent, ne, NewTIDSet(1), CountOptions{MaxEmbeddings: 3})
 	if got.Support != 2 || fmt.Sprint(got.TIDs) != "[0 1]" {
 		t.Fatalf("clamped resume lost exactness: support=%d tids=%v", got.Support, got.TIDs)
 	}

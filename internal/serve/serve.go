@@ -380,7 +380,7 @@ func (s *Server) handlePattern(w http.ResponseWriter, r *http.Request) {
 		out = append(out, PatternJSON{
 			PatternSummaryJSON: summaryJSON(mt.mount.Name, mt.mount.Reader.Info(mt.index)),
 			Graph:              graphJSON(p.Graph),
-			TIDs:               append([]int{}, p.TIDs...),
+			TIDs:               p.TIDs.Slice(),
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"code": code, "matches": out})
@@ -418,7 +418,7 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, SupportJSON{
 			Store: mt.mount.Name, Index: mt.index, Code: p.Code,
-			Support: p.Support, TIDs: append([]int{}, p.TIDs...),
+			Support: p.Support, TIDs: p.TIDs.Slice(),
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -471,7 +471,7 @@ func (s *Server) decodeOccurrences(ctx context.Context, mt match, limit int) (Re
 		Complete:     p.HasEmbeddings(),
 		Transactions: []TxnOccurrencesJSON{},
 	}
-	for i, tid := range p.TIDs {
+	for i, tid := range p.TIDs.All() {
 		if err := ctx.Err(); err != nil {
 			return zero, err
 		}
@@ -589,7 +589,7 @@ func scanRecordLocations(m Mount, i int) (map[string]*LocationPatternJSON, error
 	info := m.Reader.Info(i)
 	out := make(map[string]*LocationPatternJSON)
 	var embLabels []string // distinct labels within one embedding
-	for j, tid := range p.TIDs {
+	for j, tid := range p.TIDs.All() {
 		if len(p.Embs[j]) == 0 {
 			continue
 		}

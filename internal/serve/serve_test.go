@@ -139,7 +139,7 @@ func TestServeMatchesMiningExactly(t *testing.T) {
 			t.Fatalf("pattern %q: %d matches, want 1", want.Code, len(patResp.Matches))
 		}
 		got := patResp.Matches[0]
-		if got.Support != want.Support || !reflect.DeepEqual(got.TIDs, want.TIDs) ||
+		if got.Support != want.Support || !reflect.DeepEqual(got.TIDs, want.TIDs.Slice()) ||
 			got.Edges != want.Graph.NumEdges() || len(got.Graph.Vertices) != want.Graph.NumVertices() {
 			t.Fatalf("pattern %q: served %+v diverges from mined (support %d, tids %v)",
 				want.Code, got, want.Support, want.TIDs)
@@ -152,7 +152,7 @@ func TestServeMatchesMiningExactly(t *testing.T) {
 		}
 		getJSON(t, fx.ts, "/v1/patterns/"+codePath(want.Code)+"/support", &supResp)
 		if supResp.MaxSupport != want.Support || len(supResp.Matches) != 1 ||
-			!reflect.DeepEqual(supResp.Matches[0].TIDs, want.TIDs) {
+			!reflect.DeepEqual(supResp.Matches[0].TIDs, want.TIDs.Slice()) {
 			t.Fatalf("pattern %q: support response %+v diverges", want.Code, supResp)
 		}
 
@@ -169,11 +169,12 @@ func TestServeMatchesMiningExactly(t *testing.T) {
 		if occ.Complete != want.HasEmbeddings() {
 			t.Fatalf("pattern %q: complete=%v, want %v", want.Code, occ.Complete, want.HasEmbeddings())
 		}
-		if len(occ.Transactions) != len(want.TIDs) {
-			t.Fatalf("pattern %q: %d occurrence groups for %d TIDs", want.Code, len(occ.Transactions), len(want.TIDs))
+		if len(occ.Transactions) != want.TIDs.Len() {
+			t.Fatalf("pattern %q: %d occurrence groups for %d TIDs", want.Code, len(occ.Transactions), want.TIDs.Len())
 		}
+		wantTIDs := want.TIDs.Slice()
 		for j, txnOcc := range occ.Transactions {
-			tid := want.TIDs[j]
+			tid := wantTIDs[j]
 			if txnOcc.TID != tid {
 				t.Fatalf("pattern %q: group %d is TID %d, want %d", want.Code, j, txnOcc.TID, tid)
 			}
@@ -221,7 +222,7 @@ func TestServeLocationQuery(t *testing.T) {
 			continue
 		}
 		count := 0
-		for j, tid := range p.TIDs {
+		for j, tid := range p.TIDs.All() {
 			txn := fx.txns[tid]
 			for _, emb := range p.Embs[j] {
 				for _, tv := range emb.Verts {

@@ -42,8 +42,8 @@ func chainPattern(l0, l1, l2 string) *graph.Graph {
 // writeLegacyStore synthesizes a version-1 store: records carry the
 // pre-canonical "~" codes, including two non-isomorphic patterns
 // sharing one colliding code. The byte layout of v1 and v2 is
-// identical, so a Writer-produced file with its header version
-// patched back to 1 is a faithful v1 store.
+// identical, so a Writer set to the layout-2 record codec with its
+// header version patched back to 1 produces a faithful v1 store.
 func writeLegacyStore(t *testing.T, path string) (collA, collB *graph.Graph) {
 	t.Helper()
 	txn := graph.New("t0")
@@ -57,6 +57,7 @@ func writeLegacyStore(t *testing.T, path string) (collA, collB *graph.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	w.layout = 2 // legacy record byte layout (v1 and v2 are identical)
 	if err := w.WriteTransactions([]*graph.Graph{txn}); err != nil {
 		t.Fatal(err)
 	}
@@ -66,9 +67,9 @@ func writeLegacyStore(t *testing.T, path string) (collA, collB *graph.Graph) {
 	collB = chainPattern("C", "B", "A")
 	honest := chainPattern("A", "A", "A")
 	if err := w.WriteLevel(2, []pattern.Pattern{
-		{Graph: collA, Code: "~collide", Support: 1, TIDs: []int{0}},
-		{Graph: collB, Code: "~collide", Support: 1, TIDs: []int{0}},
-		{Graph: honest, Code: "~lonely", Support: 1, TIDs: []int{0}},
+		{Graph: collA, Code: "~collide", Support: 1, TIDs: pattern.NewTIDSet(0)},
+		{Graph: collB, Code: "~collide", Support: 1, TIDs: pattern.NewTIDSet(0)},
+		{Graph: honest, Code: "~lonely", Support: 1, TIDs: pattern.NewTIDSet(0)},
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +144,11 @@ func TestOpenLegacyV1Store(t *testing.T) {
 	}
 }
 
-// TestCurrentWriterProducesV2 pins the version bump: a fresh store
-// opens at version 2 with exact codes.
-func TestCurrentWriterProducesV2(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "v2.tnd")
-	w, err := Create(path, Meta{Name: "v2"})
+// TestCurrentWriterProducesCurrentVersion pins the version bump: a
+// fresh store opens at the current format version with exact codes.
+func TestCurrentWriterProducesCurrentVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cur.tnd")
+	w, err := Create(path, Meta{Name: "cur"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRejectUnknownVersionNamesRange(t *testing.T) {
 	if err == nil {
 		t.Fatal("opened a future-version store")
 	}
-	for _, want := range []string{"version", "1 through 2"} {
+	for _, want := range []string{"version", "1 through 3"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not name %q", err, want)
 		}

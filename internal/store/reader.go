@@ -389,7 +389,7 @@ func (r *Reader) Pattern(i int) (*pattern.Pattern, error) {
 		return nil, err
 	}
 	d := &dec{buf: buf}
-	p := decodePattern(d)
+	p := decodePattern(d, int(r.version))
 	if err := d.done(); err != nil {
 		return nil, fmt.Errorf("store: %s record %d: %w", r.path, i, err)
 	}
@@ -411,11 +411,26 @@ func (r *Reader) PatternLite(i int) (*pattern.Pattern, error) {
 		return nil, err
 	}
 	d := &dec{buf: buf}
-	p, _ := decodePatternHead(d)
+	p, _, _ := decodePatternHead(d, int(r.version))
 	if d.err != nil {
 		return nil, fmt.Errorf("store: %s record %d: %w", r.path, i, d.err)
 	}
 	return p, nil
+}
+
+// columnInfo decodes record i's header just far enough to describe
+// its TID column's on-disk shape — the stats decode pass.
+func (r *Reader) columnInfo(i int) (tidColumnInfo, error) {
+	buf, err := r.readSpan(r.recs[i].span)
+	if err != nil {
+		return tidColumnInfo{}, err
+	}
+	d := &dec{buf: buf}
+	_, _, info := decodePatternHead(d, int(r.version))
+	if d.err != nil {
+		return tidColumnInfo{}, fmt.Errorf("store: %s record %d: %w", r.path, i, d.err)
+	}
+	return info, nil
 }
 
 // Transactions decodes the whole stored transaction set in TID order

@@ -167,7 +167,7 @@ func TestDumpPatternsEquivalence(t *testing.T) {
 	}
 	changed := map[int][]pattern.Pattern{1: {levels[1][0]}}
 	changed[1][0].Support++
-	changed[1][0].TIDs = append([]int(nil), changed[1][0].TIDs...)
+	changed[1][0].TIDs = changed[1][0].TIDs.Clone()
 	if c := dump(Meta{Kind: "fsg"}, changed); c == a {
 		t.Fatal("support change did not change the dump")
 	}

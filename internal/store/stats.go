@@ -19,6 +19,14 @@ type LevelStats struct {
 	// Seeded counts overflowed patterns that kept warm-start seeds;
 	// Bare counts patterns with no lists at all.
 	Complete, Seeded, Bare int
+	// TID-column encoding: ListCols and BitsetCols count records by
+	// the encoding the writer picked (v3 stores; everything before v3
+	// is a delta-coded list). ArrayCons and BitmapCons count the
+	// containers inside bitset columns, and ColumnBytes is the
+	// on-disk size of every TID column in the level.
+	ListCols, BitsetCols  int
+	ArrayCons, BitmapCons int
+	ColumnBytes           int
 }
 
 // Stats is the whole-store statistics report backing `tndstats
@@ -62,6 +70,18 @@ func ReadStats(r *Reader) Stats {
 			default:
 				ls.Bare++
 			}
+			// Encoding split from the index flags alone; the decode
+			// pass below fills in container counts and byte sizes.
+			if r.recs[i].flags&flagTIDBitset != 0 {
+				ls.BitsetCols++
+			} else {
+				ls.ListCols++
+			}
+			if ci, err := r.columnInfo(i); err == nil {
+				ls.ArrayCons += ci.arrays
+				ls.BitmapCons += ci.bitmaps
+				ls.ColumnBytes += ci.bytes
+			}
 		}
 		st.Embeddings += ls.Embeddings
 		st.Levels = append(st.Levels, ls)
@@ -104,6 +124,16 @@ func (s Stats) String() string {
 			lv.Edges, lv.Patterns, lv.MinSupport, avg, lv.MaxSupport,
 			lv.Embeddings, lv.Complete, lv.Seeded, lv.Bare)
 	}
+	if s.Version >= 3 {
+		b.WriteString("TID columns (writer picks the smaller encoding per record):\n")
+	} else {
+		b.WriteString("TID columns (pre-v3 store: delta-coded lists only):\n")
+	}
+	b.WriteString("edges  list-cols  bitset-cols  array-cons  bitmap-cons  column-bytes\n")
+	for _, lv := range s.Levels {
+		fmt.Fprintf(&b, "%5d  %9d  %11d  %10d  %11d  %12d\n",
+			lv.Edges, lv.ListCols, lv.BitsetCols, lv.ArrayCons, lv.BitmapCons, lv.ColumnBytes)
+	}
 	return b.String()
 }
 
@@ -132,7 +162,7 @@ func DumpPatterns(r *Reader) (string, error) {
 				return "", err
 			}
 			fmt.Fprintf(&b, "  %s support=%d tids=", p.Code, p.Support)
-			for j, tid := range p.TIDs {
+			for j, tid := range p.TIDs.All() {
 				if j > 0 {
 					b.WriteByte(',')
 				}

@@ -69,11 +69,20 @@ const (
 	//	2  identical byte layout; pattern codes are exact canonical
 	//	   codes (iso.Code) — equal code ⟺ isomorphic, so code lookup
 	//	   is an exact map hit with no disambiguation.
+	//	3  pattern records move the flags byte before the TID column,
+	//	   the column becomes self-describing (delta-coded list or
+	//	   roaring-style bitset containers, whichever is smaller — see
+	//	   encodeTIDColumn), and overflowed records with lists may
+	//	   carry a second column marking which per-TID lists are seeds
+	//	   (pattern.Pattern.Partial). Graph, code, support and
+	//	   embedding encodings are unchanged, so transaction records —
+	//	   and therefore delta-prefix verification — are byte-identical
+	//	   across v2/v3.
 	//
 	// Readers accept versions [MinReadVersion, FormatVersion] and
 	// expose the opened version via Reader.Version so serving layers
 	// can keep the legacy disambiguation path for v1 stores.
-	FormatVersion = 2
+	FormatVersion = 3
 	// MinReadVersion is the oldest version Open still reads.
 	MinReadVersion = 1
 
@@ -134,7 +143,14 @@ type Meta struct {
 // pattern record flags.
 const (
 	flagHasEmbs    = 1 << 0 // Embs lists present (complete or seeds)
-	flagOverflowed = 1 << 1 // lists are seeds / absent, not complete
+	flagOverflowed = 1 << 1 // some lists are seeds / absent, not complete
+	// v3 additions. flagTIDBitset mirrors the TID column's on-disk
+	// encoding choice (the column is self-describing; the flag copy
+	// makes the encoding visible from the footer index alone, for
+	// tndstats). flagPartial announces the per-TID completeness
+	// column after the embedding section.
+	flagTIDBitset = 1 << 2 // TID column stored as bitset containers
+	flagPartial   = 1 << 3 // per-TID partial-completeness column present
 )
 
 // span locates one record in the file body.
@@ -339,30 +355,204 @@ func decodeGraph(d *dec) *graph.Graph {
 	return g
 }
 
+// --- TID column codec ---
+
+// TID column encodings (the kind byte opening every column).
+const (
+	tidColList   = 0 // uvarint count + delta-coded uvarint members
+	tidColBitset = 1 // uvarint chunk count + per-chunk containers
+)
+
+// bitset container kinds.
+const (
+	tidConArray  = 0 // uvarint count + count × uint16 LE low bits
+	tidConBitmap = 1 // 1024 × uint64 LE (8192 raw bytes)
+)
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// tidColumnSizes computes the encoded byte size of both encodings
+// without materialising either, so the writer can pick the smaller.
+func tidColumnSizes(s pattern.TIDSet) (listSize, bitsetSize int) {
+	listSize = 1 + uvarintLen(uint64(s.Len()))
+	prev := 0
+	for tid := range s.Values() {
+		listSize += uvarintLen(uint64(tid - prev))
+		prev = tid
+	}
+	bitsetSize = 1 + uvarintLen(uint64(s.NumChunks()))
+	for ch := range s.Chunks() {
+		bitsetSize += uvarintLen(uint64(ch.Key)) + 1
+		if ch.Bits != nil {
+			bitsetSize += 8 * len(ch.Bits)
+		} else {
+			bitsetSize += uvarintLen(uint64(len(ch.Arr))) + 2*len(ch.Arr)
+		}
+	}
+	return listSize, bitsetSize
+}
+
+// encodeTIDColumn serialises one TID column self-describingly,
+// choosing whichever of the two encodings is smaller (ties go to the
+// delta-coded list). Returns true when the bitset encoding was
+// chosen, so the record flags can mirror the choice into the index.
+func encodeTIDColumn(e *enc, s pattern.TIDSet) bool {
+	listSize, bitsetSize := tidColumnSizes(s)
+	if listSize <= bitsetSize {
+		e.byte(tidColList)
+		e.uvarint(uint64(s.Len()))
+		prev := 0
+		for tid := range s.Values() {
+			e.uvarint(uint64(tid - prev))
+			prev = tid
+		}
+		return false
+	}
+	e.byte(tidColBitset)
+	e.uvarint(uint64(s.NumChunks()))
+	for ch := range s.Chunks() {
+		e.uvarint(uint64(ch.Key))
+		if ch.Bits != nil {
+			e.byte(tidConBitmap)
+			for _, w := range ch.Bits {
+				e.buf = binary.LittleEndian.AppendUint64(e.buf, w)
+			}
+			continue
+		}
+		e.byte(tidConArray)
+		e.uvarint(uint64(len(ch.Arr)))
+		for _, v := range ch.Arr {
+			e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+		}
+	}
+	return true
+}
+
+// tidColumnInfo describes one decoded column's on-disk shape — the
+// raw material of the tndstats encoding report.
+type tidColumnInfo struct {
+	bitset          bool
+	bytes           int
+	arrays, bitmaps int
+}
+
+// decodeTIDColumn rebuilds one self-describing TID column.
+func decodeTIDColumn(d *dec) (pattern.TIDSet, tidColumnInfo) {
+	var s pattern.TIDSet
+	info := tidColumnInfo{}
+	start := d.off
+	switch kind := d.byte(); kind {
+	case tidColList:
+		n := d.count()
+		prev := 0
+		for i := 0; i < n && d.err == nil; i++ {
+			prev += int(d.uvarint())
+			s.Add(prev)
+		}
+	case tidColBitset:
+		info.bitset = true
+		chunks := d.count()
+		for i := 0; i < chunks && d.err == nil; i++ {
+			key := d.uvarint()
+			var ch pattern.TIDChunk
+			ch.Key = uint32(key)
+			switch ckind := d.byte(); ckind {
+			case tidConArray:
+				n := d.count()
+				if d.err != nil {
+					return s, info
+				}
+				if rem := len(d.buf) - d.off; 2*n > rem {
+					d.fail("store: corrupt TID column (array container %d×2 bytes exceeds %d remaining)", n, rem)
+					return s, info
+				}
+				arr := make([]uint16, n)
+				for j := range arr {
+					arr[j] = binary.LittleEndian.Uint16(d.buf[d.off:])
+					d.off += 2
+				}
+				ch.Arr = arr
+				info.arrays++
+			case tidConBitmap:
+				if rem := len(d.buf) - d.off; 8*1024 > rem {
+					d.fail("store: corrupt TID column (bitmap container exceeds %d remaining bytes)", rem)
+					return s, info
+				}
+				words := make([]uint64, 1024)
+				for j := range words {
+					words[j] = binary.LittleEndian.Uint64(d.buf[d.off:])
+					d.off += 8
+				}
+				ch.Bits = words
+				info.bitmaps++
+			default:
+				d.fail("store: unknown TID container kind %d", ckind)
+				return s, info
+			}
+			if err := s.AddChunk(ch); err != nil {
+				d.fail("store: corrupt TID column: %v", err)
+				return s, info
+			}
+		}
+	default:
+		d.fail("store: unknown TID column encoding %d", kind)
+	}
+	info.bytes = d.off - start
+	return s, info
+}
+
 // --- pattern codec ---
 
-// encodePattern serialises one pattern record. TIDs are
-// delta-encoded (they are ascending by the Pattern invariant, which
-// the Writer validates); embedding lists are written as flat uvarint
-// runs, one list per TID.
-func encodePattern(e *enc, p *pattern.Pattern) {
+// encodePattern serialises one pattern record in the given layout
+// version and returns the flags byte written (the index stores a
+// copy). Layout 3 — the current one — writes graph, code, support,
+// flags, the self-describing TID column, the embedding section, then
+// the Partial column when flagPartial is set. Layout 2 (kept for the
+// compat tests that synthesize legacy stores) writes the historical
+// order — TID list as a plain delta-coded list, then flags, then
+// embeddings — and cannot represent per-TID partial marks.
+// Embedding lists are written as flat uvarint runs, one list per TID,
+// identically in both layouts.
+func encodePattern(e *enc, p *pattern.Pattern, layout int) byte {
 	encodeGraph(e, p.Graph)
 	e.str(p.Code)
 	e.uvarint(uint64(p.Support))
-	e.uvarint(uint64(len(p.TIDs)))
-	prev := 0
-	for _, tid := range p.TIDs {
-		e.uvarint(uint64(tid - prev))
-		prev = tid
+	flags := patternFlags(p)
+	if layout < 3 {
+		flags &= flagHasEmbs | flagOverflowed
+		e.uvarint(uint64(p.TIDs.Len()))
+		prev := 0
+		for tid := range p.TIDs.Values() {
+			e.uvarint(uint64(tid - prev))
+			prev = tid
+		}
+		e.byte(flags)
+		encodeEmbSection(e, p)
+		return flags
 	}
-	var flags byte
-	if p.Embs != nil {
-		flags |= flagHasEmbs
-	}
-	if p.Overflowed {
-		flags |= flagOverflowed
+	// The flags byte must precede the column it describes, so decide
+	// the encoding (a size computation, no second buffer) first.
+	listSize, bitsetSize := tidColumnSizes(p.TIDs)
+	if bitsetSize < listSize {
+		flags |= flagTIDBitset
 	}
 	e.byte(flags)
+	encodeTIDColumn(e, p.TIDs)
+	encodeEmbSection(e, p)
+	if flags&flagPartial != 0 {
+		encodeTIDColumn(e, p.Partial)
+	}
+	return flags
+}
+
+func encodeEmbSection(e *enc, p *pattern.Pattern) {
 	if p.Embs == nil {
 		return
 	}
@@ -381,39 +571,54 @@ func encodePattern(e *enc, p *pattern.Pattern) {
 	}
 }
 
-// decodePatternHead rebuilds everything up to and including the
-// flags byte — graph, code, support, TID list — leaving the decoder
+// decodePatternHead rebuilds everything up to the embedding section —
+// graph, code, support, flags, TID column — leaving the decoder
 // positioned at the embedding section (if the flags announce one).
-func decodePatternHead(d *dec) (*pattern.Pattern, byte) {
+// On overflowed legacy records (version < 3) with lists, every list
+// is conservatively marked partial: the legacy writers demoted
+// wholesale, so that is also exact.
+func decodePatternHead(d *dec, version int) (*pattern.Pattern, byte, tidColumnInfo) {
 	p := &pattern.Pattern{Graph: decodeGraph(d)}
 	p.Code = d.str()
 	p.Support = int(d.uvarint())
+	if d.err != nil {
+		return nil, 0, tidColumnInfo{}
+	}
+	if version >= 3 {
+		flags := d.byte()
+		p.Overflowed = flags&flagOverflowed != 0
+		tids, info := decodeTIDColumn(d)
+		p.TIDs = tids
+		return p, flags, info
+	}
+	start := d.off
 	n := d.count()
 	if d.err != nil {
-		return nil, 0
+		return nil, 0, tidColumnInfo{}
 	}
-	if n > 0 {
-		p.TIDs = make([]int, n)
-		prev := 0
-		for i := range p.TIDs {
-			prev += int(d.uvarint())
-			p.TIDs[i] = prev
-		}
+	prev := 0
+	for i := 0; i < n; i++ {
+		prev += int(d.uvarint())
+		p.TIDs.Add(prev)
 	}
+	info := tidColumnInfo{bytes: d.off - start}
 	flags := d.byte()
 	p.Overflowed = flags&flagOverflowed != 0
-	return p, flags
+	if p.Overflowed && flags&flagHasEmbs != 0 {
+		p.Partial = p.TIDs.Clone()
+	}
+	return p, flags, info
 }
 
 // decodePattern rebuilds one pattern record. Per-TID lists written
 // empty decode as nil slots inside a non-nil Embs, preserving the
 // HasSeeds/HasEmbeddings semantics of the in-memory store.
-func decodePattern(d *dec) *pattern.Pattern {
-	p, flags := decodePatternHead(d)
+func decodePattern(d *dec, version int) *pattern.Pattern {
+	p, flags, _ := decodePatternHead(d, version)
 	if p == nil || flags&flagHasEmbs == 0 || d.err != nil {
 		return p
 	}
-	n := len(p.TIDs)
+	n := p.TIDs.Len()
 	p.Embs = make([][]iso.DenseEmbedding, n)
 	for i := range p.Embs {
 		cnt := d.count()
@@ -444,6 +649,9 @@ func decodePattern(d *dec) *pattern.Pattern {
 			list[j] = iso.DenseEmbedding{Verts: verts, Edges: edges}
 		}
 		p.Embs[i] = list
+	}
+	if version >= 3 && flags&flagPartial != 0 {
+		p.Partial, _ = decodeTIDColumn(d)
 	}
 	return p
 }

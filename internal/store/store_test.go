@@ -62,7 +62,7 @@ func randPattern(rng *rand.Rand, edges, numTxns int) pattern.Pattern {
 	if len(tids) == 0 {
 		tids = []int{rng.Intn(numTxns)}
 	}
-	p := pattern.Pattern{Graph: g, Code: code, Support: len(tids), TIDs: tids}
+	p := pattern.Pattern{Graph: g, Code: code, Support: len(tids), TIDs: pattern.TIDSetFromSlice(tids)}
 	switch rng.Intn(4) {
 	case 0: // no lists, overflowed (DropEmbeddings shape)
 		p.Overflowed = true
@@ -71,6 +71,18 @@ func randPattern(rng *rand.Rand, edges, numTxns int) pattern.Pattern {
 	case 2: // seed lists (budget-overflowed pattern)
 		p.Embs = randEmbs(rng, len(tids), nv, edges, false)
 		p.Overflowed = true
+		if rng.Intn(2) == 0 {
+			// Per-TID partial retention: mark a nonempty subset of the
+			// TIDs as seeds-only.
+			for _, tid := range tids {
+				if rng.Intn(2) == 0 {
+					p.Partial.Add(tid)
+				}
+			}
+			if p.Partial.IsEmpty() {
+				p.Partial.Add(tids[rng.Intn(len(tids))])
+			}
+		}
 	case 3: // non-overflowed with no lists at all (level untracked)
 	}
 	return p
@@ -137,8 +149,11 @@ func samePattern(t *testing.T, want, got *pattern.Pattern) {
 	if want.Support != got.Support {
 		t.Fatalf("support %d != %d", got.Support, want.Support)
 	}
-	if !reflect.DeepEqual(normTIDs(want.TIDs), normTIDs(got.TIDs)) {
+	if !want.TIDs.Equal(got.TIDs) {
 		t.Fatalf("TIDs %v != %v", got.TIDs, want.TIDs)
+	}
+	if !want.Partial.Equal(got.Partial) {
+		t.Fatalf("partial TIDs %v != %v", got.Partial, want.Partial)
 	}
 	if want.Overflowed != got.Overflowed {
 		t.Fatalf("overflowed %v != %v", got.Overflowed, want.Overflowed)
@@ -162,13 +177,6 @@ func samePattern(t *testing.T, want, got *pattern.Pattern) {
 			}
 		}
 	}
-}
-
-func normTIDs(tids []int) []int {
-	if len(tids) == 0 {
-		return nil
-	}
-	return tids
 }
 
 // writeStore persists txns + levels and returns the path.
@@ -260,7 +268,7 @@ func TestRoundTripProperty(t *testing.T) {
 					t.Fatal(err)
 				}
 				if lite.Code != want.Code || lite.Support != want.Support ||
-					!reflect.DeepEqual(normTIDs(lite.TIDs), normTIDs(want.TIDs)) ||
+					!lite.TIDs.Equal(want.TIDs) ||
 					lite.Overflowed != want.Overflowed || lite.Embs != nil {
 					t.Fatalf("trial %d: PatternLite diverged: %+v", trial, lite)
 				}
@@ -563,22 +571,25 @@ func TestWriterValidation(t *testing.T) {
 	if err := w.WriteTransactions([]*graph.Graph{txn}); err == nil {
 		t.Fatal("double WriteTransactions accepted")
 	}
-	if err := w.WriteLevel(2, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: []int{0}}}); err == nil {
+	if err := w.WriteLevel(2, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: pattern.NewTIDSet(0)}}); err == nil {
 		t.Fatal("edge-count mismatch accepted")
 	}
-	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 2, TIDs: []int{1, 0}}}); err == nil {
-		t.Fatal("non-ascending TIDs accepted")
-	}
-	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: []int{5}}}); err == nil {
+	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: pattern.NewTIDSet(5)}}); err == nil {
 		t.Fatal("out-of-range TID accepted")
 	}
 	if err := w.WriteLevel(1, []pattern.Pattern{{
-		Graph: g, Code: "c", Support: 1, TIDs: []int{0},
+		Graph: g, Code: "c", Support: 1, TIDs: pattern.NewTIDSet(0),
 		Embs: make([][]iso.DenseEmbedding, 2),
 	}}); err == nil {
 		t.Fatal("misaligned embedding lists accepted")
 	}
-	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: []int{0}}}); err != nil {
+	if err := w.WriteLevel(1, []pattern.Pattern{{
+		Graph: g, Code: "c", Support: 1, TIDs: pattern.NewTIDSet(0), Overflowed: true,
+		Partial: pattern.NewTIDSet(0),
+	}}); err == nil {
+		t.Fatal("partial TIDs without lists accepted")
+	}
+	if err := w.WriteLevel(1, []pattern.Pattern{{Graph: g, Code: "c", Support: 1, TIDs: pattern.NewTIDSet(0)}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.WriteLevel(1, nil); err == nil {

@@ -35,6 +35,11 @@ type Writer struct {
 	recs    []recInfo
 	footers int
 	state   writerState
+	// layout selects the pattern-record byte layout, normally
+	// FormatVersion. The store compat tests set it to an older value
+	// (before patching the header) to synthesize genuine legacy files
+	// with the current writer machinery.
+	layout int
 }
 
 type writerState int
@@ -56,7 +61,7 @@ func Create(path string, meta Meta) (*Writer, error) {
 	if meta.CreatedUnix == 0 {
 		meta.CreatedUnix = time.Now().Unix()
 	}
-	w := &Writer{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16), meta: meta}
+	w := &Writer{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16), meta: meta, layout: FormatVersion}
 	var hdr [headerSize]byte
 	copy(hdr[:], magic)
 	binary.LittleEndian.PutUint32(hdr[len(magic):], FormatVersion)
@@ -129,13 +134,13 @@ func (w *Writer) WriteLevel(edges int, pats []pattern.Pattern) error {
 			return err
 		}
 		e.buf = e.buf[:0]
-		encodePattern(&e, p)
+		flags := encodePattern(&e, p, w.layout)
 		w.recs = append(w.recs, recInfo{
 			span:       span{off: w.off, len: uint64(len(e.buf))},
 			code:       p.Code,
 			support:    uint32(p.Support),
 			embeddings: uint32(p.NumEmbeddings()),
-			flags:      patternFlags(p),
+			flags:      flags,
 		})
 		if err := w.write(e.buf); err != nil {
 			return err
@@ -146,6 +151,9 @@ func (w *Writer) WriteLevel(edges int, pats []pattern.Pattern) error {
 	return w.writeFooter()
 }
 
+// patternFlags computes the semantic flag bits of a record (the
+// encoding bit flagTIDBitset is added by encodePattern, which is
+// where the choice is made).
 func patternFlags(p *pattern.Pattern) byte {
 	var flags byte
 	if p.Embs != nil {
@@ -153,6 +161,9 @@ func patternFlags(p *pattern.Pattern) byte {
 	}
 	if p.Overflowed {
 		flags |= flagOverflowed
+	}
+	if p.Embs != nil && p.Partial.Len() > 0 {
+		flags |= flagPartial
 	}
 	return flags
 }
@@ -167,18 +178,22 @@ func validatePattern(p *pattern.Pattern, edges, numTxns int) error {
 	if p.Graph.NumEdges() != edges {
 		return fmt.Errorf("store: pattern %q has %d edges in a %d-edge level", p.Code, p.Graph.NumEdges(), edges)
 	}
-	prev := -1
-	for _, tid := range p.TIDs {
-		if tid <= prev {
-			return fmt.Errorf("store: pattern %q TID list not ascending (%d after %d)", p.Code, tid, prev)
-		}
-		if tid >= numTxns {
-			return fmt.Errorf("store: pattern %q TID %d beyond %d transactions", p.Code, tid, numTxns)
-		}
-		prev = tid
+	if max := p.TIDs.Max(); max >= numTxns {
+		return fmt.Errorf("store: pattern %q TID %d beyond %d transactions", p.Code, max, numTxns)
 	}
-	if p.Embs != nil && len(p.Embs) != len(p.TIDs) {
-		return fmt.Errorf("store: pattern %q has %d embedding lists for %d TIDs", p.Code, len(p.Embs), len(p.TIDs))
+	if p.Embs != nil && len(p.Embs) != p.TIDs.Len() {
+		return fmt.Errorf("store: pattern %q has %d embedding lists for %d TIDs", p.Code, len(p.Embs), p.TIDs.Len())
+	}
+	if p.Partial.Len() > 0 {
+		if !p.Overflowed {
+			return fmt.Errorf("store: pattern %q has partial TIDs but is not overflowed", p.Code)
+		}
+		if p.Embs == nil {
+			return fmt.Errorf("store: pattern %q has partial TIDs but no lists", p.Code)
+		}
+		if p.Partial.AndCard(p.TIDs) != p.Partial.Len() {
+			return fmt.Errorf("store: pattern %q partial TIDs are not a subset of its TIDs", p.Code)
+		}
 	}
 	return nil
 }
