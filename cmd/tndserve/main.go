@@ -1,24 +1,36 @@
 // Command tndserve is the pattern query daemon: an HTTP/JSON server
 // over one or more persisted pattern/embedding stores (written by
 // tndfsg/tndtemporal/experiments with -store). It answers pattern
-// lookup by code, support and TID queries, per-level listings, and
-// per-location occurrence queries — all decoded from the stored
-// embedding lists, never by re-mining or re-matching.
+// lookup by code (singly or in batches), support and TID queries,
+// per-level listings, and per-location occurrence queries — all
+// decoded from the stored embedding lists, never by re-mining or
+// re-matching.
 //
 // Usage:
 //
-//	tndserve -store out.tnd [-store more.tnd ...] [-addr :8321] [-parallelism N]
+//	tndserve -store out.tnd [-store more.tnd ...] [-addr :8321]
+//	         [-parallelism N] [-cache-bytes N]
+//	         [-watch spool/ [-watch-interval 1s]]
 //
 // Endpoints:
 //
-//	GET /healthz
-//	GET /v1/stores
-//	GET /v1/levels
-//	GET /v1/levels/{edges}
-//	GET /v1/patterns/{code}
-//	GET /v1/patterns/{code}/support
-//	GET /v1/patterns/{code}/occurrences[?limit=N]
-//	GET /v1/locations/{label}/patterns
+//	GET  /healthz
+//	GET  /v1/stores
+//	GET  /v1/levels
+//	GET  /v1/levels/{edges}
+//	GET  /v1/patterns/{code}
+//	POST /v1/patterns:batch            {"codes": ["...", ...]}
+//	GET  /v1/patterns/{code}/support
+//	GET  /v1/patterns/{code}/occurrences[?limit=N]
+//	GET  /v1/locations/{label}/patterns
+//	POST /v1/admin/remount             {"store": "name", "path": "new.tnd"}
+//
+// A running daemon can hot-swap a mounted store for a newer
+// generation of the same lineage (a delta-mined descendant) without
+// a restart and without dropping requests: POST /v1/admin/remount,
+// or point -watch at a spool directory and drop new store files in —
+// each is validated for provenance (generation must advance, lineage
+// must match) and mounted when its file stops changing.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests finish, then the process exits 0.
@@ -34,6 +46,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"tnkd/internal/serve"
 	"tnkd/internal/store"
@@ -49,6 +62,9 @@ func main() {
 	})
 	addr := flag.String("addr", ":8321", "listen address")
 	parallelism := flag.Int("parallelism", 0, "worker count for store scans (0 = all CPUs)")
+	cacheBytes := flag.Int("cache-bytes", 0, "per-mount pattern-body cache budget (0 = 8 MiB, negative disables)")
+	watch := flag.String("watch", "", "spool directory to poll for newer-generation stores to hot-swap in")
+	watchInterval := flag.Duration("watch-interval", time.Second, "spool poll interval")
 	flag.Parse()
 	if len(paths) == 0 {
 		log.Fatal("at least one -store file is required")
@@ -61,7 +77,6 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer r.Close()
 		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
 		if n := used[name]; n > 0 {
 			name = fmt.Sprintf("%s#%d", name, n)
@@ -72,15 +87,28 @@ func main() {
 		if !r.Exact() {
 			codes = "legacy v1 codes (approximate matches possible)"
 		}
-		log.Printf("mounted %s: format v%d (%s), %d transactions, %d patterns across %d levels",
-			p, r.Version(), codes, r.NumTransactions(), r.NumPatterns(), len(r.Levels()))
+		locIdx := "lazy location index"
+		if _, _, ok := r.LocationIndex(); ok {
+			locIdx = "persisted location index"
+		}
+		log.Printf("mounted %s: format v%d (%s, %s), %d transactions, %d patterns across %d levels",
+			p, r.Version(), codes, locIdx, r.NumTransactions(), r.NumPatterns(), len(r.Levels()))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := serve.New(mounts, serve.Options{Parallelism: *parallelism})
+	srv := serve.New(mounts, serve.Options{Parallelism: *parallelism, PatternCacheBytes: *cacheBytes})
+	if *watch != "" {
+		log.Printf("watching %s for newer-generation stores (every %s)", *watch, *watchInterval)
+		go srv.WatchSpool(ctx, *watch, *watchInterval, log.Printf)
+	}
 	log.Printf("listening on %s", *addr)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	// The server owns the readers now: remounts already closed any
+	// replaced ones, Close drains and closes the rest.
+	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
 	log.Print("shut down cleanly")

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// defaultPatternCacheBytes sizes the per-mount pattern-body LRU when
+// Options.PatternCacheBytes is zero.
+const defaultPatternCacheBytes = 8 << 20
+
+// patternCache is a byte-bounded LRU of marshaled pattern-record
+// bodies, keyed by record index within one mount. Records are
+// immutable for the life of a mount, so entries never invalidate;
+// a remount installs a fresh mountEntry, and the old cache dies with
+// the old snapshot. The bound is on body bytes (the thing that
+// actually grows), not entry count.
+type patternCache struct {
+	mu       sync.Mutex
+	capBytes int
+	used     int
+	ll       *list.List // front = most recently used
+	items    map[int]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheItem struct {
+	key  int
+	body json.RawMessage
+}
+
+func newPatternCache(capBytes int) *patternCache {
+	return &patternCache{capBytes: capBytes, ll: list.New(), items: make(map[int]*list.Element)}
+}
+
+func (c *patternCache) get(key int) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).body, true
+}
+
+func (c *patternCache) put(key int, body json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(body) > c.capBytes {
+		return // a single oversized body would evict everything for nothing
+	}
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*cacheItem)
+		c.used += len(body) - len(it.body)
+		it.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheItem{key: key, body: body})
+		c.used += len(body)
+	}
+	for c.used > c.capBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		it := back.Value.(*cacheItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		c.used -= len(it.body)
+	}
+}
+
+// CacheStatsJSON reports one mount's pattern-body cache in
+// /v1/stores.
+type CacheStatsJSON struct {
+	CapacityBytes int    `json:"capacity_bytes"`
+	UsedBytes     int    `json:"used_bytes"`
+	Entries       int    `json:"entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+}
+
+func (c *patternCache) stats() CacheStatsJSON {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStatsJSON{
+		CapacityBytes: c.capBytes,
+		UsedBytes:     c.used,
+		Entries:       len(c.items),
+		Hits:          c.hits,
+		Misses:        c.misses,
+	}
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tnkd/internal/store"
+)
+
+// ErrNoSuchStore reports a remount naming an unmounted store.
+var ErrNoSuchStore = errors.New("serve: no such store")
+
+// ErrProvenance reports a remount candidate whose lineage does not
+// validate against the mounted store: its generation must strictly
+// advance the current one, and it must descend from the same lineage
+// (its recorded Parent is the mounted path, or it carries the same
+// Kind and Name).
+var ErrProvenance = errors.New("serve: remount provenance rejected")
+
+// RemountResult reports one completed hot swap.
+type RemountResult struct {
+	Store         string `json:"store"`
+	Path          string `json:"path"`
+	OldGeneration int    `json:"old_generation"`
+	NewGeneration int    `json:"new_generation"`
+	// SwapMillis is the time from validation to the old reader being
+	// fully drained and closed — the whole cutover, not just the
+	// pointer flip (which is atomic and unmeasurably fast).
+	SwapMillis float64 `json:"swap_ms"`
+}
+
+// validateLineage checks a candidate reader against the mounted one.
+// The generation must strictly increase (PR 5's delta miner stamps
+// Generation = parent+1), and the candidate must descend from the
+// mounted lineage: its Meta.Parent names the mounted path (directly
+// or by base name — spool directories move files around), or it
+// carries the same Kind and Name.
+func validateLineage(cur, cand *store.Reader) error {
+	cm, nm := cur.Meta(), cand.Meta()
+	if nm.Generation <= cm.Generation {
+		return fmt.Errorf("%w: candidate generation %d does not advance mounted generation %d",
+			ErrProvenance, nm.Generation, cm.Generation)
+	}
+	if nm.Parent == cur.Path() ||
+		(nm.Parent != "" && filepath.Base(nm.Parent) == filepath.Base(cur.Path())) {
+		return nil
+	}
+	if nm.Kind == cm.Kind && nm.Name == cm.Name && nm.Name != "" {
+		return nil
+	}
+	return fmt.Errorf("%w: candidate parent %q matches neither mounted path %q nor mounted kind/name %q/%q",
+		ErrProvenance, nm.Parent, cur.Path(), cm.Kind, cm.Name)
+}
+
+// Remount hot-swaps the named mount for the store at path. The
+// candidate is opened and its provenance validated (ErrProvenance on
+// generation or lineage mismatch); then the mount table flips
+// atomically — requests already running finish against the old
+// reader, every later request sees the new one — and the old reader
+// is closed only after those in-flight requests drain. No request is
+// dropped at any point.
+func (s *Server) Remount(name, path string) (RemountResult, error) {
+	rd, err := store.Open(path)
+	if err != nil {
+		return RemountResult{}, fmt.Errorf("serve: open remount candidate: %w", err)
+	}
+	res, err := s.remountReader(name, rd)
+	if err != nil {
+		rd.Close() //nolint:errcheck // already failing
+	}
+	return res, err
+}
+
+// RemountAuto is Remount without a mount name: the candidate at path
+// is matched against every mount's lineage and swaps in for the
+// first one that validates. This is the spool-watch entry point,
+// where only the file is known.
+func (s *Server) RemountAuto(path string) (RemountResult, error) {
+	rd, err := store.Open(path)
+	if err != nil {
+		return RemountResult{}, fmt.Errorf("serve: open remount candidate: %w", err)
+	}
+	s.mu.RLock()
+	st := s.cur
+	s.mu.RUnlock()
+	if st == nil {
+		rd.Close() //nolint:errcheck
+		return RemountResult{}, errors.New("serve: server closed")
+	}
+	name := ""
+	for _, e := range st.entries {
+		if validateLineage(e.m.Reader, rd) == nil {
+			name = e.m.Name
+			break
+		}
+	}
+	if name == "" {
+		rd.Close() //nolint:errcheck
+		return RemountResult{}, fmt.Errorf("%w: %s matches no mounted lineage", ErrProvenance, path)
+	}
+	res, err := s.remountReader(name, rd)
+	if err != nil {
+		rd.Close() //nolint:errcheck
+	}
+	return res, err
+}
+
+// remountReader performs the swap: validate under the lock (against
+// the state every concurrent request and remount agrees on), install
+// the successor snapshot, then drain and close the replaced reader
+// outside the lock. On error the caller owns closing rd.
+func (s *Server) remountReader(name string, rd *store.Reader) (RemountResult, error) {
+	start := time.Now()
+	s.mu.Lock()
+	st := s.cur
+	if st == nil {
+		s.mu.Unlock()
+		return RemountResult{}, errors.New("serve: server closed")
+	}
+	ei := -1
+	for i, e := range st.entries {
+		if e.m.Name == name {
+			ei = i
+			break
+		}
+	}
+	if ei < 0 {
+		s.mu.Unlock()
+		return RemountResult{}, fmt.Errorf("%w: %q", ErrNoSuchStore, name)
+	}
+	old := st.entries[ei].m.Reader
+	if err := validateLineage(old, rd); err != nil {
+		s.mu.Unlock()
+		return RemountResult{}, err
+	}
+	entries := make([]*mountEntry, len(st.entries))
+	copy(entries, st.entries)
+	entries[ei] = s.newEntry(Mount{Name: name, Reader: rd})
+	s.cur = &state{entries: entries}
+	s.mu.Unlock()
+
+	// Drain-then-close: every request pinned to the old snapshot
+	// finishes against the old reader before it closes. Unaffected
+	// mounts share their entries (and caches) with the new snapshot.
+	st.wg.Wait()
+	res := RemountResult{
+		Store:         name,
+		Path:          rd.Path(),
+		OldGeneration: old.Meta().Generation,
+		NewGeneration: rd.Meta().Generation,
+	}
+	err := old.Close()
+	res.SwapMillis = float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		return res, fmt.Errorf("serve: close replaced reader: %w", err)
+	}
+	return res, nil
+}
+
+// handleRemount is the admin endpoint for hot swaps. Body:
+// {"store": "name", "path": "file.tnd"} — omit "store" to match the
+// candidate against every mount's lineage (RemountAuto).
+func (s *Server) handleRemount(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Store string `json:"store"`
+		Path  string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid remount request: %v", err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "remount requires a path")
+		return
+	}
+	var res RemountResult
+	var err error
+	if req.Store == "" {
+		res, err = s.RemountAuto(req.Path)
+	} else {
+		res, err = s.Remount(req.Store, req.Path)
+	}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrNoSuchStore):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrProvenance):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// WatchSpool polls dir every interval for candidate store files and
+// hot-swaps any whose lineage validates against a mounted store
+// (RemountAuto). A file is considered only once its name, size and
+// mtime have been stable across two consecutive polls — a copy still
+// in flight must not be mounted half-written. Rejected candidates
+// are remembered and not retried until the file changes. Blocks
+// until ctx is cancelled; logf (may be nil) receives one line per
+// attempt.
+func (s *Server) WatchSpool(ctx context.Context, dir string, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	type fileKey struct {
+		size int64
+		mod  int64
+	}
+	pending := map[string]fileKey{} // seen once, waiting for a stable second look
+	handled := map[string]fileKey{} // mounted or rejected at this key
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			logf("watch %s: %v", dir, err)
+			continue
+		}
+		for _, ent := range ents {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".tnd") {
+				continue
+			}
+			info, err := ent.Info()
+			if err != nil {
+				continue
+			}
+			p := filepath.Join(dir, ent.Name())
+			k := fileKey{size: info.Size(), mod: info.ModTime().UnixNano()}
+			if handled[p] == k {
+				continue
+			}
+			if pending[p] != k {
+				pending[p] = k
+				continue
+			}
+			delete(pending, p)
+			handled[p] = k
+			res, err := s.RemountAuto(p)
+			if err != nil {
+				logf("watch %s: %v", p, err)
+				continue
+			}
+			logf("watch %s: remounted %s generation %d -> %d in %.2fms",
+				p, res.Store, res.OldGeneration, res.NewGeneration, res.SwapMillis)
+		}
+	}
+}

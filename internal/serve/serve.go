@@ -4,18 +4,24 @@
 // lists a mining run already computed and internal/store persisted,
 // without ever re-running an isomorphism search.
 //
-// Endpoints (all GET, all JSON):
+// Endpoints (JSON):
 //
-//	/healthz                             liveness
-//	/v1/stores                           mounted stores with meta + level directory
-//	/v1/levels                           per-store level listings
-//	/v1/levels/{edges}                   pattern summaries at one level
-//	/v1/patterns/{code}                  full pattern records for a code
-//	/v1/patterns/{code}/support          support counts + TID lists
-//	/v1/patterns/{code}/occurrences      embeddings decoded against the
-//	                                     stored transactions (locations)
-//	/v1/locations/{label}/patterns       patterns occurring at a vertex
-//	                                     label, counted from embeddings
+//	GET  /healthz                            liveness
+//	GET  /v1/stores                          mounted stores with meta,
+//	                                         level directory and cache
+//	                                         statistics
+//	GET  /v1/levels                          per-store level listings
+//	GET  /v1/levels/{edges}                  pattern summaries at one level
+//	GET  /v1/patterns/{code}                 full pattern records for a code
+//	POST /v1/patterns:batch                  full records for many codes in
+//	                                         one round trip
+//	GET  /v1/patterns/{code}/support         support counts + TID lists
+//	GET  /v1/patterns/{code}/occurrences     embeddings decoded against the
+//	                                         stored transactions (locations)
+//	GET  /v1/locations/{label}/patterns      patterns occurring at a vertex
+//	                                         label, counted from embeddings
+//	POST /v1/admin/remount                   hot-swap a mounted store for a
+//	                                         newer generation (see remount.go)
 //
 // Pattern codes are the miners' exact canonical codes (iso.Code):
 // equal code means the same pattern, and an Algorithm 1 store keeps
@@ -27,12 +33,24 @@
 // callers separate collisions by the returned graphs).
 //
 // Location queries are answered from a per-mount inverted index
-// (vertex label -> patterns whose stored embeddings touch it) built
-// lazily on the first /v1/locations query and memoized for the life
-// of the mount — stores are immutable once mounted, so the index
-// never invalidates. The first query pays one full store scan
-// (fanned out per record on the shared internal/engine pool); every
-// later query is a map hit.
+// (vertex label -> patterns whose stored embeddings touch it).
+// Format-v4 stores persist the index at write time, so mounting one
+// loads it straight from the footer — the first location query is a
+// map hit, not a store scan. Older stores (and v4 stores whose
+// writer could not invert the embeddings) fall back to the lazy
+// build: one full scan on the first /v1/locations query, fanned out
+// per record on the shared internal/engine pool, memoized for the
+// life of the mount.
+//
+// Mounted stores are immutable, but the set of mounts is not: a
+// remount (POST /v1/admin/remount, or the tndserve -watch spool)
+// atomically replaces one mount with a newer generation of the same
+// lineage. Every request pins the mount snapshot it started on, the
+// swap installs the new snapshot for subsequent requests, and the
+// replaced reader is closed only after the pinned requests drain —
+// no restart, no dropped request. Caches (the location index, the
+// pattern-body LRU, marshaled location responses) hang off the
+// snapshot machinery, so they never serve stale generations.
 package serve
 
 import (
@@ -60,6 +78,18 @@ type Options struct {
 	// ShutdownGrace bounds how long ListenAndServe waits for in-
 	// flight requests after its context is cancelled (0 = 5s).
 	ShutdownGrace time.Duration
+	// ReadHeaderTimeout bounds how long the listener waits for a
+	// request's headers (0 = 5s, < 0 = no bound). A daemon facing
+	// slow or hostile clients must not hold a connection open for
+	// free.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// idle (0 = 120s, < 0 = no bound).
+	IdleTimeout time.Duration
+	// PatternCacheBytes bounds the per-mount LRU of marshaled
+	// pattern-record bodies shared by the point and batch pattern
+	// endpoints (0 = 8 MiB, < 0 disables the cache).
+	PatternCacheBytes int
 }
 
 // Mount is one named store served by a Server.
@@ -70,25 +100,96 @@ type Mount struct {
 	Reader *store.Reader
 }
 
-// Server answers queries over one or more mounted stores. It is
-// stateless beyond the readers and the lazily built location indices
-// and safe for concurrent use.
-type Server struct {
-	mounts []Mount
-	opts   Options
-	loc    []locIndex // per mount, aligned with mounts
-	// locBody caches the marshaled /v1/locations response per label:
-	// the indices are immutable, so the response bytes are too. On
-	// label-poor stores (the paper's uniform-label graphs) one label
-	// matches every pattern and serialising the half-megabyte answer
-	// dominated the warm path; a cached body turns it into a write.
+// mountEntry is one mounted store plus the caches whose lifetime it
+// owns: the inverted location index and the marshaled-pattern LRU.
+// Records are immutable for the life of the entry, so neither cache
+// ever invalidates; a remount installs a fresh entry instead.
+type mountEntry struct {
+	m     Mount
+	loc   locIndex
+	cache *patternCache // nil when disabled
+}
+
+// state is one immutable snapshot of the mount table. Requests pin
+// the snapshot they started on (wg); a remount installs a successor
+// snapshot and closes replaced readers only after the pinned
+// requests drain. locBody caches marshaled /v1/locations responses —
+// those aggregate across mounts, so they hang off the snapshot, not
+// an entry.
+type state struct {
+	entries []*mountEntry
+	wg      sync.WaitGroup
 	locBody sync.Map // label -> []byte
+}
+
+// Server answers queries over one or more mounted stores. It is safe
+// for concurrent use, including concurrent remounts.
+type Server struct {
+	opts Options
+
+	mu  sync.RWMutex
+	cur *state // nil after Close
 }
 
 // New builds a Server over the given mounts. Mount order is response
 // order.
 func New(mounts []Mount, opts Options) *Server {
-	return &Server{mounts: mounts, opts: opts, loc: make([]locIndex, len(mounts))}
+	s := &Server{opts: opts}
+	entries := make([]*mountEntry, len(mounts))
+	for i, m := range mounts {
+		entries[i] = s.newEntry(m)
+	}
+	s.cur = &state{entries: entries}
+	return s
+}
+
+func (s *Server) newEntry(m Mount) *mountEntry {
+	e := &mountEntry{m: m}
+	capBytes := s.opts.PatternCacheBytes
+	if capBytes == 0 {
+		capBytes = defaultPatternCacheBytes
+	}
+	if capBytes > 0 {
+		e.cache = newPatternCache(capBytes)
+	}
+	return e
+}
+
+// acquire pins the current mount snapshot for one request. The Add
+// happens under the read lock, so a remount's Lock-swap-Wait cannot
+// miss it: every pinned request either drains before the old reader
+// closes or runs entirely on the new snapshot.
+func (s *Server) acquire() (*state, error) {
+	s.mu.RLock()
+	st := s.cur
+	if st != nil {
+		st.wg.Add(1)
+	}
+	s.mu.RUnlock()
+	if st == nil {
+		return nil, errors.New("serve: server closed")
+	}
+	return st, nil
+}
+
+// Close drains in-flight requests and closes every mounted reader.
+// Subsequent requests answer 503.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	st := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	st.wg.Wait()
+	var first error
+	for _, e := range st.entries {
+		if err := e.m.Reader.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Handler returns the routed HTTP handler.
@@ -97,14 +198,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/stores", s.handleStores)
-	mux.HandleFunc("GET /v1/levels", s.handleLevels)
-	mux.HandleFunc("GET /v1/levels/{edges}", s.handleLevel)
-	mux.HandleFunc("GET /v1/patterns/{code}", s.handlePattern)
-	mux.HandleFunc("GET /v1/patterns/{code}/support", s.handleSupport)
-	mux.HandleFunc("GET /v1/patterns/{code}/occurrences", s.handleOccurrences)
-	mux.HandleFunc("GET /v1/locations/{label}/patterns", s.handleLocation)
+	mux.HandleFunc("GET /v1/stores", s.pinned(s.handleStores))
+	mux.HandleFunc("GET /v1/levels", s.pinned(s.handleLevels))
+	mux.HandleFunc("GET /v1/levels/{edges}", s.pinned(s.handleLevel))
+	mux.HandleFunc("GET /v1/patterns/{code}", s.pinned(s.handlePattern))
+	mux.HandleFunc("POST /v1/patterns:batch", s.pinned(s.handleBatch))
+	mux.HandleFunc("GET /v1/patterns/{code}/support", s.pinned(s.handleSupport))
+	mux.HandleFunc("GET /v1/patterns/{code}/occurrences", s.pinned(s.handleOccurrences))
+	mux.HandleFunc("GET /v1/locations/{label}/patterns", s.pinned(s.handleLocation))
+	mux.HandleFunc("POST /v1/admin/remount", s.handleRemount)
 	return mux
+}
+
+// pinned adapts a snapshot-scoped handler: acquire the current
+// state, release it when the response is written.
+func (s *Server) pinned(h func(st *state, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.acquire()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		defer st.wg.Done()
+		h(st, w, r)
+	}
 }
 
 // ListenAndServe serves until ctx is cancelled, then shuts down
@@ -114,7 +231,12 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	// Request contexts deliberately do not derive from ctx: its
 	// cancellation means "stop accepting and wind down", not "abort
 	// in-flight work" — Shutdown's grace window governs those.
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: timeoutOr(s.opts.ReadHeaderTimeout, 5*time.Second),
+		IdleTimeout:       timeoutOr(s.opts.IdleTimeout, 120*time.Second),
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -135,6 +257,17 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	}
 	return nil
+}
+
+func timeoutOr(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0 // http.Server's "no timeout"
+	case v == 0:
+		return def
+	default:
+		return v
+	}
 }
 
 // --- JSON shapes ---
@@ -184,10 +317,18 @@ type PatternJSON struct {
 type StoreJSON struct {
 	Name         string            `json:"name"`
 	Path         string            `json:"path"`
+	Version      int               `json:"version"`
+	Generation   int               `json:"generation"`
 	Meta         store.Meta        `json:"meta"`
 	Transactions int               `json:"transactions"`
 	Patterns     int               `json:"patterns"`
 	Levels       []store.LevelInfo `json:"levels"`
+	// LocationIndex says how /v1/locations is answered for this
+	// mount: "persisted" (loaded from the v4 store section) or
+	// "lazy" (built by scanning on first query).
+	LocationIndex string `json:"location_index"`
+	// Cache reports the pattern-body LRU; absent when disabled.
+	Cache *CacheStatsJSON `json:"cache,omitempty"`
 }
 
 // LevelJSON is one per-store level-directory row.
@@ -272,6 +413,12 @@ type LocationJSON struct {
 	PatternsWithoutEmbeddings int `json:"patterns_without_embeddings"`
 }
 
+// BatchResultJSON is one code's resolution in a batch response.
+type BatchResultJSON struct {
+	Code    string            `json:"code"`
+	Matches []json.RawMessage `json:"matches"`
+}
+
 // errorJSON is the uniform error body.
 type errorJSON struct {
 	Error string `json:"error"`
@@ -291,26 +438,39 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // --- handlers ---
 
-func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
-	out := make([]StoreJSON, 0, len(s.mounts))
-	for _, m := range s.mounts {
-		out = append(out, StoreJSON{
-			Name:         m.Name,
-			Path:         m.Reader.Path(),
-			Meta:         m.Reader.Meta(),
-			Transactions: m.Reader.NumTransactions(),
-			Patterns:     m.Reader.NumPatterns(),
-			Levels:       m.Reader.Levels(),
-		})
+func (s *Server) handleStores(st *state, w http.ResponseWriter, r *http.Request) {
+	out := make([]StoreJSON, 0, len(st.entries))
+	for _, e := range st.entries {
+		rd := e.m.Reader
+		source := "lazy"
+		if _, _, ok := rd.LocationIndex(); ok {
+			source = "persisted"
+		}
+		sj := StoreJSON{
+			Name:          e.m.Name,
+			Path:          rd.Path(),
+			Version:       rd.Version(),
+			Generation:    rd.Meta().Generation,
+			Meta:          rd.Meta(),
+			Transactions:  rd.NumTransactions(),
+			Patterns:      rd.NumPatterns(),
+			Levels:        rd.Levels(),
+			LocationIndex: source,
+		}
+		if e.cache != nil {
+			cs := e.cache.stats()
+			sj.Cache = &cs
+		}
+		out = append(out, sj)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLevels(st *state, w http.ResponseWriter, r *http.Request) {
 	out := []LevelJSON{}
-	for _, m := range s.mounts {
-		for _, lv := range m.Reader.Levels() {
-			out = append(out, LevelJSON{Store: m.Name, Edges: lv.Edges, Patterns: lv.Patterns})
+	for _, e := range st.entries {
+		for _, lv := range e.m.Reader.Levels() {
+			out = append(out, LevelJSON{Store: e.m.Name, Edges: lv.Edges, Patterns: lv.Patterns})
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -318,17 +478,17 @@ func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
 
 // handleLevel lists the pattern summaries of one level across all
 // mounts — index-only, no record decodes.
-func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLevel(st *state, w http.ResponseWriter, r *http.Request) {
 	edges, err := strconv.Atoi(r.PathValue("edges"))
 	if err != nil || edges < 1 {
 		writeError(w, http.StatusBadRequest, "level must be a positive edge count, got %q", r.PathValue("edges"))
 		return
 	}
 	out := []PatternSummaryJSON{}
-	for _, m := range s.mounts {
-		start, end := m.Reader.LevelRange(edges)
+	for _, e := range st.entries {
+		start, end := e.m.Reader.LevelRange(edges)
 		for i := start; i < end; i++ {
-			out = append(out, summaryJSON(m.Name, m.Reader.Info(i)))
+			out = append(out, summaryJSON(e.m.Name, e.m.Reader.Info(i)))
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -349,41 +509,127 @@ func summaryJSON(storeName string, info store.PatternInfo) PatternSummaryJSON {
 
 // match is one (mount, record) hit for a code.
 type match struct {
-	mount Mount
+	e     *mountEntry
 	index int
 }
 
-func (s *Server) findCode(code string) []match {
+func (st *state) findCode(code string) []match {
 	var out []match
-	for _, m := range s.mounts {
-		for _, i := range m.Reader.FindByCode(code) {
-			out = append(out, match{mount: m, index: i})
+	for _, e := range st.entries {
+		for _, i := range e.m.Reader.FindByCode(code) {
+			out = append(out, match{e: e, index: i})
 		}
 	}
 	return out
 }
 
-func (s *Server) handlePattern(w http.ResponseWriter, r *http.Request) {
+// patternBody returns the marshaled PatternJSON of one record,
+// through the owning mount's LRU when enabled. Bodies are compact;
+// the response encoder re-indents them uniformly.
+func patternBody(mt match) (json.RawMessage, error) {
+	if mt.e.cache != nil {
+		if b, ok := mt.e.cache.get(mt.index); ok {
+			return b, nil
+		}
+	}
+	rd := mt.e.m.Reader
+	p, err := rd.PatternLite(mt.index)
+	if err != nil {
+		return nil, fmt.Errorf("decode %s record %d: %w", mt.e.m.Name, mt.index, err)
+	}
+	body, err := json.Marshal(PatternJSON{
+		PatternSummaryJSON: summaryJSON(mt.e.m.Name, rd.Info(mt.index)),
+		Graph:              graphJSON(p.Graph),
+		TIDs:               p.TIDs.Slice(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if mt.e.cache != nil {
+		mt.e.cache.put(mt.index, body)
+	}
+	return body, nil
+}
+
+func (s *Server) handlePattern(st *state, w http.ResponseWriter, r *http.Request) {
 	code := r.PathValue("code")
-	matches := s.findCode(code)
+	matches := st.findCode(code)
 	if len(matches) == 0 {
 		writeError(w, http.StatusNotFound, "no pattern with code %q", code)
 		return
 	}
-	out := make([]PatternJSON, 0, len(matches))
+	out := make([]json.RawMessage, 0, len(matches))
 	for _, mt := range matches {
-		p, err := mt.mount.Reader.PatternLite(mt.index)
+		body, err := patternBody(mt)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "decode %s record %d: %v", mt.mount.Name, mt.index, err)
+			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		out = append(out, PatternJSON{
-			PatternSummaryJSON: summaryJSON(mt.mount.Name, mt.mount.Reader.Info(mt.index)),
-			Graph:              graphJSON(p.Graph),
-			TIDs:               p.TIDs.Slice(),
-		})
+		out = append(out, body)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"code": code, "matches": out})
+}
+
+// maxBatchCodes bounds one batch request: enough for a full level
+// fetch, small enough that a request can't pin a state forever.
+const maxBatchCodes = 1024
+
+// handleBatch resolves many codes in one request with one engine
+// fan-out over every matching record. Unknown codes answer with an
+// empty match list (the batch is a lookup, not an assertion); the
+// per-record bodies come from the same per-mount LRU as the point
+// endpoint, so a batch warms the cache for point queries and vice
+// versa.
+func (s *Server) handleBatch(st *state, w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Codes []string `json:"codes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid batch request: %v", err)
+		return
+	}
+	if len(req.Codes) == 0 {
+		writeError(w, http.StatusBadRequest, "codes must be a non-empty array")
+		return
+	}
+	if len(req.Codes) > maxBatchCodes {
+		writeError(w, http.StatusBadRequest, "batch of %d codes exceeds the %d-code limit", len(req.Codes), maxBatchCodes)
+		return
+	}
+	type job struct {
+		code int // index into req.Codes
+		mt   match
+	}
+	var jobs []job
+	for ci, code := range req.Codes {
+		for _, mt := range st.findCode(code) {
+			jobs = append(jobs, job{code: ci, mt: mt})
+		}
+	}
+	bodies, err := engine.MapCtx(r.Context(), s.opts.Parallelism, len(jobs),
+		func(ctx context.Context, i int) (json.RawMessage, error) {
+			return patternBody(jobs[i].mt)
+		})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	results := make([]BatchResultJSON, len(req.Codes))
+	for i := range results {
+		results[i] = BatchResultJSON{Code: req.Codes[i], Matches: []json.RawMessage{}}
+	}
+	for i, j := range jobs {
+		results[j.code].Matches = append(results[j.code].Matches, bodies[i])
+	}
+	found := 0
+	for i := range results {
+		if len(results[i].Matches) > 0 {
+			found++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"codes": len(req.Codes), "found": found, "results": results,
+	})
 }
 
 func graphJSON(g *graph.Graph) GraphJSON {
@@ -398,9 +644,9 @@ func graphJSON(g *graph.Graph) GraphJSON {
 	return out
 }
 
-func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSupport(st *state, w http.ResponseWriter, r *http.Request) {
 	code := r.PathValue("code")
-	matches := s.findCode(code)
+	matches := st.findCode(code)
 	if len(matches) == 0 {
 		writeError(w, http.StatusNotFound, "no pattern with code %q", code)
 		return
@@ -408,16 +654,16 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 	out := make([]SupportJSON, 0, len(matches))
 	maxSupport := 0
 	for _, mt := range matches {
-		p, err := mt.mount.Reader.PatternLite(mt.index)
+		p, err := mt.e.m.Reader.PatternLite(mt.index)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "decode %s record %d: %v", mt.mount.Name, mt.index, err)
+			writeError(w, http.StatusInternalServerError, "decode %s record %d: %v", mt.e.m.Name, mt.index, err)
 			return
 		}
 		if p.Support > maxSupport {
 			maxSupport = p.Support
 		}
 		out = append(out, SupportJSON{
-			Store: mt.mount.Name, Index: mt.index, Code: p.Code,
+			Store: mt.e.m.Name, Index: mt.index, Code: p.Code,
 			Support: p.Support, TIDs: p.TIDs.Slice(),
 		})
 	}
@@ -426,7 +672,7 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleOccurrences(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOccurrences(st *state, w http.ResponseWriter, r *http.Request) {
 	code := r.PathValue("code")
 	limit := 0 // per-transaction occurrence cap; 0 = all
 	if q := r.URL.Query().Get("limit"); q != "" {
@@ -437,7 +683,7 @@ func (s *Server) handleOccurrences(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
-	matches := s.findCode(code)
+	matches := st.findCode(code)
 	if len(matches) == 0 {
 		writeError(w, http.StatusNotFound, "no pattern with code %q", code)
 		return
@@ -447,7 +693,7 @@ func (s *Server) handleOccurrences(w http.ResponseWriter, r *http.Request) {
 	// record per repetition).
 	out, err := engine.MapCtx(r.Context(), s.opts.Parallelism, len(matches),
 		func(ctx context.Context, i int) (RecordOccurrencesJSON, error) {
-			return s.decodeOccurrences(ctx, matches[i], limit)
+			return decodeOccurrences(ctx, matches[i], limit)
 		})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -456,15 +702,15 @@ func (s *Server) handleOccurrences(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"code": code, "matches": out})
 }
 
-func (s *Server) decodeOccurrences(ctx context.Context, mt match, limit int) (RecordOccurrencesJSON, error) {
+func decodeOccurrences(ctx context.Context, mt match, limit int) (RecordOccurrencesJSON, error) {
 	var zero RecordOccurrencesJSON
-	rd := mt.mount.Reader
+	rd := mt.e.m.Reader
 	p, err := rd.Pattern(mt.index)
 	if err != nil {
 		return zero, err
 	}
 	out := RecordOccurrencesJSON{
-		Store:        mt.mount.Name,
+		Store:        mt.e.m.Name,
 		Index:        mt.index,
 		Code:         p.Code,
 		Support:      p.Support,
@@ -489,7 +735,7 @@ func (s *Server) decodeOccurrences(ctx context.Context, mt match, limit int) (Re
 			for _, emb := range embs {
 				o, err := occurrenceJSON(txn, emb)
 				if err != nil {
-					return zero, fmt.Errorf("%s record %d tid %d: %w", mt.mount.Name, mt.index, tid, err)
+					return zero, fmt.Errorf("%s record %d tid %d: %w", mt.e.m.Name, mt.index, tid, err)
 				}
 				list = append(list, o)
 			}
@@ -528,32 +774,54 @@ func occurrenceJSON(txn *graph.Graph, emb iso.DenseEmbedding) (OccurrenceJSON, e
 	return out, nil
 }
 
-// locIndex is the lazily built, memoized inverted location index of
-// one mount: for every vertex label touched by any stored embedding,
-// the patterns occurring there in record order. Stores are immutable
-// once mounted, so the index is built at most once (sync.Once) and
-// never invalidated; build errors (corrupt stores) are memoized too
-// — they are permanent properties of the file.
+// locIndex is the memoized inverted location index of one mount: for
+// every vertex label touched by any stored embedding, the patterns
+// occurring there in record order. A mount's records are immutable,
+// so the index is built at most once (sync.Once) and never
+// invalidated; build errors (corrupt stores) are memoized too — they
+// are permanent properties of the file.
 type locIndex struct {
 	once    sync.Once
 	err     error
+	source  string // "persisted" (v4 section) or "lazy" (full scan)
 	byLabel map[string][]LocationPatternJSON
 	noEmb   int // records with no stored embedding lists at all
 }
 
-// locationIndex returns mount mi's inverted index, building it on
-// first use. The build scans every record once, fanned out on the
-// engine pool; it deliberately runs under context.Background — the
-// index outlives the triggering request, so that request's
-// cancellation must not poison the memo for everyone after it.
-func (s *Server) locationIndex(mi int) (*locIndex, error) {
-	idx := &s.loc[mi]
+// locationIndex returns a mount's inverted index, loading it on
+// first use. Format-v4 stores carry the index persisted at write
+// time, so loading is a footer walk with no record decodes; older
+// stores scan every record once, fanned out on the engine pool. The
+// lazy build deliberately runs under context.Background — the index
+// outlives the triggering request, so that request's cancellation
+// must not poison the memo for everyone after it.
+func (s *Server) locationIndex(e *mountEntry) (*locIndex, error) {
+	idx := &e.loc
 	idx.once.Do(func() {
-		m := s.mounts[mi]
-		n := m.Reader.NumPatterns()
+		rd := e.m.Reader
+		if byLabel, noEmb, ok := rd.LocationIndex(); ok {
+			idx.source = "persisted"
+			idx.noEmb = noEmb
+			idx.byLabel = make(map[string][]LocationPatternJSON, len(byLabel))
+			for label, hits := range byLabel {
+				lps := make([]LocationPatternJSON, 0, len(hits))
+				for _, h := range hits {
+					info := rd.Info(h.Record)
+					lps = append(lps, LocationPatternJSON{
+						Store: e.m.Name, Index: h.Record, Code: info.Code,
+						Edges: info.Edges, Support: info.Support,
+						Occurrences: h.Occurrences, TIDs: h.TIDs.Slice(),
+					})
+				}
+				idx.byLabel[label] = lps
+			}
+			return
+		}
+		idx.source = "lazy"
+		n := rd.NumPatterns()
 		hits, err := engine.MapCtx(context.Background(), s.opts.Parallelism, n,
 			func(ctx context.Context, i int) (map[string]*LocationPatternJSON, error) {
-				return scanRecordLocations(m, i)
+				return scanRecordLocations(e.m, i)
 			})
 		if err != nil {
 			idx.err = err
@@ -577,7 +845,9 @@ func (s *Server) locationIndex(mi int) (*locIndex, error) {
 // for each vertex label they touch, the occurrence count (embeddings
 // containing at least one vertex with the label) and the supporting
 // TIDs. Returns nil for records with no stored lists (which cannot
-// be checked without re-matching).
+// be checked without re-matching). This is the lazy twin of the
+// write-time inversion persisted in v4 stores; the store package's
+// property tests hold the two equal.
 func scanRecordLocations(m Mount, i int) (map[string]*LocationPatternJSON, error) {
 	if m.Reader.Info(i).Embeddings == 0 {
 		return nil, nil
@@ -636,20 +906,20 @@ func scanRecordLocations(m Mount, i int) (map[string]*LocationPatternJSON, error
 }
 
 // handleLocation answers "which patterns occur at this location?"
-// from the memoized inverted index — a map hit (and, after the first
-// query for a label, a cached pre-marshaled body) instead of the
-// full-store scan this endpoint used to run per request.
-func (s *Server) handleLocation(w http.ResponseWriter, r *http.Request) {
+// from the per-mount inverted index — a map hit (and, after the
+// first query for a label, a cached pre-marshaled body) instead of
+// the full-store scan this endpoint used to run per request.
+func (s *Server) handleLocation(st *state, w http.ResponseWriter, r *http.Request) {
 	label := r.PathValue("label")
-	if body, ok := s.locBody.Load(label); ok {
+	if body, ok := st.locBody.Load(label); ok {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(body.([]byte)) //nolint:errcheck // client gone is not a server error
 		return
 	}
 	out := LocationJSON{Label: label, Patterns: []LocationPatternJSON{}}
-	for mi := range s.mounts {
-		idx, err := s.locationIndex(mi)
+	for _, e := range st.entries {
+		idx, err := s.locationIndex(e)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -670,7 +940,7 @@ func (s *Server) handleLocation(w http.ResponseWriter, r *http.Request) {
 		// Only labels that exist get a cached body: empty responses
 		// are cheap to recompute, and caching them would let probes
 		// for made-up labels grow the cache without bound.
-		s.locBody.Store(label, body)
+		st.locBody.Store(label, body)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)

@@ -29,9 +29,11 @@ type minedFixture struct {
 	txns   []*graph.Graph
 	result *fsg.Result
 	ts     *httptest.Server
+	path   string
+	srv    *Server
 }
 
-func newMinedFixture(t *testing.T) *minedFixture {
+func newMinedFixture(t testing.TB) *minedFixture {
 	t.Helper()
 	txns := synth.LabelStress(synth.LabelStressConfig{
 		Seed: 11, NumTransactions: 18, Lanes: 30, LanesPerTxn: 20,
@@ -68,7 +70,7 @@ func newMinedFixture(t *testing.T) *minedFixture {
 	srv := New([]Mount{{Name: "mined", Reader: r}}, Options{Parallelism: 4})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return &minedFixture{txns: txns, result: res, ts: ts}
+	return &minedFixture{txns: txns, result: res, ts: ts, path: path, srv: srv}
 }
 
 // getJSON fetches a path and decodes the body into v, failing on

@@ -181,7 +181,7 @@ func TestRejectUnknownVersionNamesRange(t *testing.T) {
 	if err == nil {
 		t.Fatal("opened a future-version store")
 	}
-	for _, want := range []string{"version", "1 through 3"} {
+	for _, want := range []string{"version", "1 through 4"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not name %q", err, want)
 		}

@@ -37,6 +37,7 @@ type Reader struct {
 	levels  []levelInfo
 	recs    []recInfo
 	byCode  map[string][]int
+	loc     *locIndex // persisted location index (format v4+), nil before
 
 	mu       sync.Mutex
 	txnCache []*graph.Graph
@@ -234,6 +235,11 @@ func (r *Reader) parseIndex(idx []byte) error {
 		}
 		r.levels = append(r.levels, lv)
 	}
+	if d.err == nil && r.version >= 4 {
+		if idx, present := decodeLocIndex(d, len(r.recs), numTxns); present {
+			r.loc = &idx
+		}
+	}
 	if err := d.done(); err != nil {
 		return fmt.Errorf("store: %s: corrupt index: %w", r.path, err)
 	}
@@ -351,6 +357,43 @@ func (r *Reader) edgesOf(i int) int {
 		}
 	}
 	return 0
+}
+
+// LocationIndex returns the persisted per-location inverted index of
+// a format-v4 store: hits per vertex label in ascending record order,
+// plus the count of records that store no embeddings at all. ok is
+// false for stores written before v4 — callers fall back to a lazy
+// full-store scan (the serving layer's pre-v4 path). The returned map
+// and hit slices are the reader's own: treat them as read-only.
+func (r *Reader) LocationIndex() (byLabel map[string][]LocationHit, noEmb int, ok bool) {
+	if r.loc == nil {
+		return nil, 0, false
+	}
+	return r.loc.byLabel, r.loc.noEmb, true
+}
+
+// LocationIndexInfo describes the persisted location-index section
+// for the stats report: presence, label and hit counts, and its exact
+// encoded size inside the footer index block.
+type LocationIndexInfo struct {
+	Present bool
+	Labels  int
+	Hits    int
+	NoEmb   int
+	Bytes   int
+}
+
+// LocationIndexStats summarises the persisted location index (zero
+// Present for pre-v4 stores).
+func (r *Reader) LocationIndexStats() LocationIndexInfo {
+	if r.loc == nil {
+		return LocationIndexInfo{}
+	}
+	info := LocationIndexInfo{Present: true, Labels: len(r.loc.byLabel), NoEmb: r.loc.noEmb, Bytes: r.loc.bytes}
+	for _, hits := range r.loc.byLabel {
+		info.Hits += len(hits)
+	}
+	return info
 }
 
 // FindByCode returns the global record indices whose code equals the

@@ -39,6 +39,9 @@ type Stats struct {
 	Patterns     int
 	Embeddings   int
 	Levels       []LevelStats
+	// LocIndex describes the persisted per-location inverted index
+	// section (format v4+; zero Present before).
+	LocIndex LocationIndexInfo
 }
 
 // ReadStats aggregates a store's index into a statistics report.
@@ -49,6 +52,7 @@ func ReadStats(r *Reader) Stats {
 		Meta:         r.Meta(),
 		Transactions: r.NumTransactions(),
 		Patterns:     r.NumPatterns(),
+		LocIndex:     r.LocationIndexStats(),
 	}
 	for _, lv := range r.levels {
 		ls := LevelStats{Edges: lv.edges, Patterns: lv.count}
@@ -133,6 +137,14 @@ func (s Stats) String() string {
 	for _, lv := range s.Levels {
 		fmt.Fprintf(&b, "%5d  %9d  %11d  %10d  %11d  %12d\n",
 			lv.Edges, lv.ListCols, lv.BitsetCols, lv.ArrayCons, lv.BitmapCons, lv.ColumnBytes)
+	}
+	if s.LocIndex.Present {
+		fmt.Fprintf(&b, "location index (v4, persisted at write time): labels=%d hits=%d no-embedding-records=%d bytes=%d\n",
+			s.LocIndex.Labels, s.LocIndex.Hits, s.LocIndex.NoEmb, s.LocIndex.Bytes)
+	} else if s.Version >= 4 {
+		b.WriteString("location index: absent (some embeddings could not be inverted at write time; servers build it lazily)\n")
+	} else {
+		b.WriteString("location index: absent (pre-v4 store: servers build it lazily on the first location query)\n")
 	}
 	return b.String()
 }

@@ -45,6 +45,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"tnkd/internal/graph"
 	"tnkd/internal/iso"
@@ -78,11 +79,20 @@ const (
 	//	   embedding encodings are unchanged, so transaction records —
 	//	   and therefore delta-prefix verification — are byte-identical
 	//	   across v2/v3.
+	//	4  record and transaction layouts identical to v3; the footer
+	//	   index gains a per-location inverted index section after the
+	//	   level directory (vertex label -> records whose stored
+	//	   embeddings touch it, with occurrence counts and TID
+	//	   columns — see encodeLocIndex). The writer computes the
+	//	   section from the embeddings it is already serialising, so
+	//	   servers mount new stores instantly warm instead of paying a
+	//	   full-store scan on the first location query; v3-and-older
+	//	   stores fall back to that lazy scan.
 	//
 	// Readers accept versions [MinReadVersion, FormatVersion] and
 	// expose the opened version via Reader.Version so serving layers
 	// can keep the legacy disambiguation path for v1 stores.
-	FormatVersion = 3
+	FormatVersion = 4
 	// MinReadVersion is the oldest version Open still reads.
 	MinReadVersion = 1
 
@@ -608,6 +618,179 @@ func decodePatternHead(d *dec, version int) (*pattern.Pattern, byte, tidColumnIn
 		p.Partial = p.TIDs.Clone()
 	}
 	return p, flags, info
+}
+
+// --- location index codec (format v4) ---
+
+// LocationHit is one entry of the persisted per-location inverted
+// index: a pattern record whose stored embeddings touch the label,
+// with the occurrence count (embeddings containing at least one
+// vertex of the label) and the supporting TIDs.
+type LocationHit struct {
+	// Record is the global record index.
+	Record int
+	// Occurrences counts embeddings touching the label.
+	Occurrences int
+	// TIDs are the transactions holding those embeddings.
+	TIDs pattern.TIDSet
+}
+
+// locIndex is the in-memory form of the persisted section: hits per
+// label in ascending record order, plus the count of records that
+// store no embeddings at all (and so cannot appear under any label).
+type locIndex struct {
+	byLabel map[string][]LocationHit
+	noEmb   int
+	bytes   int // encoded size, for the stats report
+}
+
+// encodeLocIndex serialises the section: a presence byte (the section
+// is optional — a writer that cannot invert a record's embeddings,
+// e.g. because they dangle outside their transactions, omits the
+// index and lets servers fall back to the lazy build), then the
+// no-embeddings record count, then per label (ascending) its hit list
+// with delta-coded record indices, occurrence counts and
+// self-describing TID columns.
+func encodeLocIndex(e *enc, byLabel map[string][]LocationHit, noEmb int, present bool) {
+	if !present {
+		e.byte(0)
+		return
+	}
+	e.byte(1)
+	e.uvarint(uint64(noEmb))
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	e.uvarint(uint64(len(labels)))
+	for _, l := range labels {
+		e.str(l)
+		hits := byLabel[l]
+		e.uvarint(uint64(len(hits)))
+		prev := 0
+		for _, h := range hits {
+			e.uvarint(uint64(h.Record - prev))
+			prev = h.Record
+			e.uvarint(uint64(h.Occurrences))
+			encodeTIDColumn(e, h.TIDs)
+		}
+	}
+}
+
+// decodeLocIndex rebuilds the section, validating every hit against
+// the already-parsed record and transaction counts — a store is
+// external input, so a corrupt index must fail Open, not serve
+// out-of-range record references.
+func decodeLocIndex(d *dec, numRecs, numTxns int) (locIndex, bool) {
+	start := d.off
+	idx := locIndex{byLabel: map[string][]LocationHit{}}
+	switch present := d.byte(); present {
+	case 0:
+		return idx, false
+	case 1:
+	default:
+		d.fail("store: corrupt location index (presence byte %d)", present)
+		return idx, false
+	}
+	noEmb := d.uvarint()
+	if d.err == nil && noEmb > uint64(numRecs) {
+		d.fail("store: corrupt location index (%d no-embedding records of %d)", noEmb, numRecs)
+		return idx, false
+	}
+	idx.noEmb = int(noEmb)
+	nLabels := d.count()
+	for i := 0; i < nLabels && d.err == nil; i++ {
+		label := d.str()
+		nHits := d.count()
+		hits := make([]LocationHit, 0, nHits)
+		rec := -1
+		for j := 0; j < nHits && d.err == nil; j++ {
+			delta := int(d.uvarint())
+			if j == 0 {
+				rec = delta
+			} else {
+				rec += delta
+			}
+			occ := int(d.uvarint())
+			tids, _ := decodeTIDColumn(d)
+			if d.err != nil {
+				break
+			}
+			if rec >= numRecs {
+				d.fail("store: corrupt location index (label %q references record %d of %d)", label, rec, numRecs)
+				break
+			}
+			if occ < 1 || tids.Len() < 1 || tids.Len() > occ {
+				d.fail("store: corrupt location index (label %q record %d: %d occurrences over %d TIDs)", label, rec, occ, tids.Len())
+				break
+			}
+			if tids.Max() >= numTxns {
+				d.fail("store: corrupt location index (label %q TID %d beyond %d transactions)", label, tids.Max(), numTxns)
+				break
+			}
+			hits = append(hits, LocationHit{Record: rec, Occurrences: occ, TIDs: tids})
+		}
+		if d.err == nil {
+			idx.byLabel[label] = hits
+		}
+	}
+	idx.bytes = d.off - start
+	return idx, d.err == nil
+}
+
+// invertEmbeddings computes one record's contribution to the
+// location index: for every vertex label its stored embeddings touch,
+// the occurrence count and supporting TIDs — exactly the inversion
+// the serving layer's lazy scan performs, done once at write time.
+// txn resolves a TID to its transaction graph. Records storing no
+// embeddings return nil (they cannot be located without re-matching).
+func invertEmbeddings(p *pattern.Pattern, rec int, txn func(tid int) (*graph.Graph, error)) (map[string]*LocationHit, error) {
+	if p.NumEmbeddings() == 0 {
+		return nil, nil
+	}
+	out := make(map[string]*LocationHit)
+	var embLabels []string // distinct labels within one embedding
+	for j, tid := range p.TIDs.All() {
+		if len(p.Embs[j]) == 0 {
+			continue
+		}
+		g, err := txn(tid)
+		if err != nil {
+			return nil, err
+		}
+		for _, emb := range p.Embs[j] {
+			embLabels = embLabels[:0]
+			for _, tv := range emb.Verts {
+				if !g.HasVertex(tv) {
+					return nil, fmt.Errorf("store: pattern %q embedding references missing vertex %d in transaction %d", p.Code, tv, tid)
+				}
+				label := g.Vertex(tv).Label
+				seen := false
+				for _, l := range embLabels {
+					if l == label {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					embLabels = append(embLabels, label)
+				}
+			}
+			for _, label := range embLabels {
+				h := out[label]
+				if h == nil {
+					h = &LocationHit{Record: rec}
+					out[label] = h
+				}
+				h.Occurrences++
+				if h.TIDs.IsEmpty() || h.TIDs.Max() != tid {
+					h.TIDs.Add(tid)
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // decodePattern rebuilds one pattern record. Per-TID lists written

@@ -40,6 +40,20 @@ type Writer struct {
 	// (before patching the header) to synthesize genuine legacy files
 	// with the current writer machinery.
 	layout int
+
+	// Location-index accumulation (layout >= 4): WriteTransactions
+	// retains the transaction graphs so WriteLevel can invert each
+	// record's embeddings into per-label hits as it serialises them.
+	locTxns  []*graph.Graph
+	locHits  map[string][]LocationHit
+	locNoEmb int
+	// locDisabled drops the (optional) index section for the whole
+	// store: set when some record's embeddings cannot be inverted
+	// (references outside their transactions — the codec round-trips
+	// such records faithfully, but they cannot be located). Readers of
+	// a store without the section fall back to the lazy scan, which
+	// surfaces the same records as corrupt at query time.
+	locDisabled bool
 }
 
 type writerState int
@@ -75,6 +89,38 @@ func Create(path string, meta Meta) (*Writer, error) {
 // Path returns the file path the writer was created with.
 func (w *Writer) Path() string { return w.path }
 
+// SetLayout pins the writer to an older format version: record and
+// index byte layout plus the header version field. It exists for the
+// cross-package compat tests that need genuine legacy files produced
+// by the current writer machinery (the in-package tests reach the
+// layout field directly); version 2 is the floor because v1 and v2
+// share one byte layout — synthesize a v1 store by writing layout 2
+// and patching the header afterwards. Must be called before any
+// WriteTransactions/WriteLevel.
+func (w *Writer) SetLayout(version int) error {
+	if w.state != writerOpen {
+		return fmt.Errorf("store: SetLayout on closed writer")
+	}
+	if w.txns != nil || len(w.recs) > 0 {
+		return fmt.Errorf("store: SetLayout after writing began")
+	}
+	if version < 2 || version > FormatVersion {
+		return fmt.Errorf("store: SetLayout(%d) outside writable range [2, %d]", version, FormatVersion)
+	}
+	w.layout = version
+	// The header was written (buffered) by Create; rewrite its version
+	// field in place. Flush first so the WriteAt lands after it.
+	if err := w.flush(); err != nil {
+		return err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], uint32(version))
+	if _, err := w.f.WriteAt(v[:], int64(len(magic))); err != nil {
+		return fmt.Errorf("store: SetLayout %s: %w", w.path, err)
+	}
+	return nil
+}
+
 func (w *Writer) write(b []byte) error {
 	n, err := w.bw.Write(b)
 	w.off += uint64(n)
@@ -96,6 +142,13 @@ func (w *Writer) WriteTransactions(txns []*graph.Graph) error {
 	}
 	if len(w.recs) > 0 {
 		return fmt.Errorf("store: WriteTransactions after WriteLevel")
+	}
+	if w.layout >= 4 {
+		// Retained for the location-index inversion in WriteLevel; the
+		// caller already holds these graphs, so this is a slice of
+		// pointers, not a copy.
+		w.locTxns = txns
+		w.locHits = make(map[string][]LocationHit)
 	}
 	w.txns = make([]span, 0, len(txns))
 	var e enc
@@ -133,6 +186,9 @@ func (w *Writer) WriteLevel(edges int, pats []pattern.Pattern) error {
 		if err := validatePattern(p, edges, len(w.txns)); err != nil {
 			return err
 		}
+		if w.layout >= 4 && !w.locDisabled {
+			w.indexLocations(p, len(w.recs))
+		}
 		e.buf = e.buf[:0]
 		flags := encodePattern(&e, p, w.layout)
 		w.recs = append(w.recs, recInfo{
@@ -149,6 +205,32 @@ func (w *Writer) WriteLevel(edges int, pats []pattern.Pattern) error {
 	}
 	w.levels = append(w.levels, lv)
 	return w.writeFooter()
+}
+
+// indexLocations folds record rec's embeddings into the location
+// index being accumulated for the v4 footer section. Appending per
+// record keeps each label's hit list in ascending record order — the
+// order the serving layer's lazy scan produces, so a persisted index
+// is interchangeable with a lazily built one. A record whose
+// embeddings cannot be inverted (dangling references) disables the
+// whole optional section rather than failing the write: the codec's
+// contract is to round-trip records faithfully, locatable or not.
+func (w *Writer) indexLocations(p *pattern.Pattern, rec int) {
+	perLabel, err := invertEmbeddings(p, rec, func(tid int) (*graph.Graph, error) {
+		return w.locTxns[tid], nil // validatePattern already bounded the TIDs
+	})
+	if err != nil {
+		w.locDisabled = true
+		w.locHits = nil
+		return
+	}
+	if perLabel == nil {
+		w.locNoEmb++
+		return
+	}
+	for label, h := range perLabel {
+		w.locHits[label] = append(w.locHits[label], *h)
+	}
 }
 
 // patternFlags computes the semantic flag bits of a record (the
@@ -313,6 +395,9 @@ func (w *Writer) encodeIndex() []byte {
 			e.uvarint(uint64(r.embeddings))
 			e.byte(r.flags)
 		}
+	}
+	if w.layout >= 4 {
+		encodeLocIndex(&e, w.locHits, w.locNoEmb, !w.locDisabled)
 	}
 	return e.buf
 }
