@@ -16,17 +16,39 @@
 // instead of re-mining the existing repetitions; the union — and the
 // store written by -store — is identical to a full run at the
 // combined repetition count.
+//
+// -progress streams one line to stderr per mined level as each
+// repetition's mine completes it (candidates, frequent, embeddings,
+// elapsed), so a long run is never silent; stdout stays
+// byte-identical with or without the flag.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"os"
 	"strings"
+	"time"
 
 	"tnkd/internal/experiments"
+	"tnkd/internal/fsg"
+	"tnkd/internal/obs"
 	"tnkd/internal/store"
 )
+
+// progressLine renders one completed mining level for -progress,
+// writing to stderr so the stdout tables CI diffs are untouched.
+func progressLine(stage string, ev fsg.LevelProgress) {
+	line := fmt.Sprintf("%s: level %d: candidates=%d frequent=%d embeddings=%d patterns=%d elapsed=%s",
+		stage, ev.Edges, ev.Candidates, ev.Frequent, ev.Embeddings, ev.Patterns,
+		ev.Elapsed.Round(time.Millisecond))
+	if ev.Delta {
+		line += fmt.Sprintf(" reused=%d promoted=%d", ev.Reused, ev.Promoted)
+	}
+	log.Print(line)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,6 +61,7 @@ func main() {
 	maxEmbeddings := flag.Int("maxembeddings", 0, "per-level FSG embedding budget (0 = default, -1 = unlimited); over budget the incremental support counter falls back to full isomorphism")
 	storePath := flag.String("store", "", "persist the mined patterns + embeddings to this store file (serve with tndserve)")
 	deltaFrom := flag.String("delta-from", "", "append one more Algorithm 1 repetition to this previously mined structural store instead of re-mining it (union identical to a full run at the combined repetition count)")
+	progress := flag.Bool("progress", false, "stream one line per mined level to stderr while mining (stdout stays byte-identical)")
 	flag.Parse()
 	// Both store paths pre-flight at flag time, so a mistyped path
 	// fails in milliseconds instead of after partitioning and mining.
@@ -58,6 +81,10 @@ func main() {
 	p.MaxEmbeddings = *maxEmbeddings
 	p.StorePath = *storePath
 	p.DeltaFrom = *deltaFrom
+	if *progress {
+		p.Progress = progressLine
+		p.Logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+	}
 	switch strings.ToLower(*strategy) {
 	case "bf":
 		fmt.Print(experiments.RunFigure2(p))

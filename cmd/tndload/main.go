@@ -74,4 +74,15 @@ func main() {
 	if res.Failures > 0 {
 		log.Fatalf("%d of %d requests failed", res.Failures, res.Requests)
 	}
+	// Two-sided proof: the server's own /metrics counters must agree
+	// with the client tallies above. Absence of /metrics (an older
+	// daemon) skips the check; disagreement fails the run.
+	switch {
+	case res.Server == nil:
+		log.Print("server exposes no /metrics; client/server cross-check skipped")
+	case !res.Server.Match:
+		log.Fatalf("client/server cross-check failed: %s", res.Server.Detail)
+	default:
+		log.Printf("server cross-check: %d requests confirmed server-side, 0 failed", res.Server.RequestsDelta)
+	}
 }

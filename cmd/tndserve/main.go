@@ -11,10 +11,12 @@
 //	tndserve -store out.tnd [-store more.tnd ...] [-addr :8321]
 //	         [-parallelism N] [-cache-bytes N]
 //	         [-watch spool/ [-watch-interval 1s]]
+//	         [-access-log=false] [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
 //	GET  /healthz
+//	GET  /metrics
 //	GET  /v1/stores
 //	GET  /v1/levels
 //	GET  /v1/levels/{edges}
@@ -32,6 +34,12 @@
 // each is validated for provenance (generation must advance, lineage
 // must match) and mounted when its file stops changing.
 //
+// Every request is counted and timed into the built-in metrics
+// registry, exposed in Prometheus text form at GET /metrics, and
+// logged as one JSON line on stderr (disable with -access-log=false).
+// -pprof-addr starts net/http/pprof on a second, private listener —
+// profiling stays off the serving port and off by default.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests finish, then the process exits 0.
 package main
@@ -41,6 +49,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"tnkd/internal/obs"
 	"tnkd/internal/serve"
 	"tnkd/internal/store"
 )
@@ -65,6 +77,8 @@ func main() {
 	cacheBytes := flag.Int("cache-bytes", 0, "per-mount pattern-body cache budget (0 = 8 MiB, negative disables)")
 	watch := flag.String("watch", "", "spool directory to poll for newer-generation stores to hot-swap in")
 	watchInterval := flag.Duration("watch-interval", time.Second, "spool poll interval")
+	accessLog := flag.Bool("access-log", true, "log one JSON line per request on stderr")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
 	if len(paths) == 0 {
 		log.Fatal("at least one -store file is required")
@@ -97,7 +111,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := serve.New(mounts, serve.Options{Parallelism: *parallelism, PatternCacheBytes: *cacheBytes})
+	logger := obs.Discard()
+	if *accessLog {
+		logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+	}
+	srv := serve.New(mounts, serve.Options{
+		Parallelism:       *parallelism,
+		PatternCacheBytes: *cacheBytes,
+		Logger:            logger,
+	})
+	if *pprofAddr != "" {
+		// pprof rides DefaultServeMux (the blank import registered it)
+		// on its own listener, so profiling endpoints never share the
+		// public serving port.
+		log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 	if *watch != "" {
 		log.Printf("watching %s for newer-generation stores (every %s)", *watch, *watchInterval)
 		go srv.WatchSpool(ctx, *watch, *watchInterval, log.Printf)

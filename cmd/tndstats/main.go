@@ -8,7 +8,7 @@
 // Usage:
 //
 //	tndstats [-in file.csv | -scale 0.1]
-//	tndstats -store out.tnd [-recover] [-patterns]
+//	tndstats -store out.tnd [-recover] [-patterns | -json]
 //
 // -recover salvages a store whose writing run died mid-level by
 // reading the last intact checkpoint footer.
@@ -18,9 +18,13 @@
 // provenance, so two stores hold the same mining result exactly when
 // their dumps are byte-identical — `diff` of two dumps is the
 // delta-mining equivalence check CI runs.
+//
+// -json emits the same store statistics as a single JSON object so CI
+// can assert on fields with jq instead of grepping the human table.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -39,7 +43,14 @@ func main() {
 	storePath := flag.String("store", "", "report pattern/support/embedding statistics from this persisted store instead of a dataset")
 	recover := flag.Bool("recover", false, "with -store: salvage a store whose writing run died mid-level (reads the last intact checkpoint footer)")
 	patterns := flag.Bool("patterns", false, "with -store: dump every pattern record (level, code, support, TID list) as deterministic diff-able lines instead of aggregate statistics")
+	jsonOut := flag.Bool("json", false, "with -store: emit the statistics as one JSON object (machine-readable twin of the table)")
 	flag.Parse()
+	if *jsonOut && *storePath == "" {
+		log.Fatal("-json requires -store (dataset descriptions have no JSON form)")
+	}
+	if *jsonOut && *patterns {
+		log.Fatal("-json and -patterns are mutually exclusive (the pattern dump is already machine-diffable)")
+	}
 
 	if *storePath != "" {
 		open := store.Open
@@ -59,7 +70,16 @@ func main() {
 			fmt.Print(dump)
 			return
 		}
-		fmt.Print(store.ReadStats(r))
+		st := store.ReadStats(r)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(st); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Print(st)
 		return
 	}
 

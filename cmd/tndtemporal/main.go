@@ -18,16 +18,41 @@
 // N calendar days, which is how a delta sequence is simulated from a
 // fixed dataset: mine -days K -store a.tnd, then -days K+1
 // -delta-from a.tnd -store b.tnd.
+//
+// -progress streams one line to stderr per mined level as the level
+// completes (candidates, frequent, embeddings, reuse/promotion
+// tallies, elapsed), so a long mine is never silent; stdout stays
+// byte-identical with or without the flag. Delta runs additionally
+// log their fold provenance (generation, appended TIDs, reuse vs
+// recount) as JSON lines on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"os"
+	"time"
 
 	"tnkd/internal/experiments"
+	"tnkd/internal/fsg"
+	"tnkd/internal/obs"
 	"tnkd/internal/store"
 )
+
+// progressLine renders one completed mining level for -progress. It
+// writes through the stderr logger, so stdout (the experiment tables
+// CI diffs) is untouched.
+func progressLine(stage string, ev fsg.LevelProgress) {
+	line := fmt.Sprintf("%s: level %d: candidates=%d frequent=%d embeddings=%d patterns=%d elapsed=%s",
+		stage, ev.Edges, ev.Candidates, ev.Frequent, ev.Embeddings, ev.Patterns,
+		ev.Elapsed.Round(time.Millisecond))
+	if ev.Delta {
+		line += fmt.Sprintf(" reused=%d promoted=%d", ev.Reused, ev.Promoted)
+	}
+	log.Print(line)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,6 +65,7 @@ func main() {
 	days := flag.Int("days", 0, "limit the run to the earliest N calendar days (0 = all); a -days K run's transactions are an exact prefix of the -days K+1 run's")
 	storePath := flag.String("store", "", "persist the Figure 4 mine (patterns + embeddings + per-day transactions) to this store file (serve with tndserve)")
 	deltaFrom := flag.String("delta-from", "", "fold the newly arrived days into this previously mined store instead of re-mining from scratch (output identical to a full re-mine)")
+	progress := flag.Bool("progress", false, "stream one line per mined level to stderr while mining (stdout stays byte-identical)")
 	flag.Parse()
 	// Both store paths pre-flight at flag time, so a mistyped path
 	// fails in milliseconds instead of after the dataset is built and
@@ -61,6 +87,10 @@ func main() {
 	p.Days = *days
 	p.StorePath = *storePath
 	p.DeltaFrom = *deltaFrom
+	if *progress {
+		p.Progress = progressLine
+		p.Logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+	}
 	fmt.Print(experiments.RunTable2(p))
 	fmt.Println()
 	fmt.Print(experiments.RunTable3(p))

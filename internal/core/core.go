@@ -16,6 +16,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -78,6 +79,13 @@ type StructuralOptions struct {
 	// repetition count. Repetitions means *added* repetitions here,
 	// and PerRun/PartitionCounts cover only them.
 	DeltaFrom string
+	// Progress, when non-nil, receives one event per completed
+	// Apriori level of every repetition's FSG run, tagged with the
+	// repetition index (a delta run indexes only the added
+	// repetitions). Repetitions mine concurrently, so events from
+	// different repetitions interleave and the callback must be safe
+	// for concurrent use.
+	Progress func(rep int, ev fsg.LevelProgress)
 }
 
 // DefaultStructuralOptions mirrors the paper's breadth-first run.
@@ -283,14 +291,18 @@ func mineRepetitionSet(partitionings [][]*graph.Graph, opts StructuralOptions) (
 	}
 	return engine.MapCtx(context.Background(), outer, len(partitionings),
 		func(_ context.Context, rep int) (*fsg.Result, error) {
-			runRes, err := fsg.Mine(partitionings[rep], fsg.Options{
+			fo := fsg.Options{
 				MinSupport:    opts.Support,
 				MaxEdges:      opts.MaxEdges,
 				MaxSteps:      opts.MaxSteps,
 				MaxCandidates: opts.MaxCandidates,
 				MaxEmbeddings: opts.MaxEmbeddings,
 				Parallelism:   inner,
-			})
+			}
+			if opts.Progress != nil {
+				fo.Progress = func(ev fsg.LevelProgress) { opts.Progress(rep, ev) }
+			}
+			runRes, err := fsg.Mine(partitionings[rep], fo)
 			if err != nil {
 				return nil, fmt.Errorf("core: repetition %d: %w", rep, err)
 			}
@@ -483,6 +495,12 @@ type TemporalMineOptions struct {
 	// may sit above the parent run's — stored patterns that no longer
 	// qualify drop out exactly as a re-mine would drop them.
 	DeltaFrom string
+	// Progress is handed to the miner (fsg.Options.Progress): one
+	// event per completed Apriori level, emitted while the mine runs.
+	Progress func(fsg.LevelProgress)
+	// Logger receives structured mining logs — the delta fold
+	// provenance when DeltaFrom is set. nil is silent.
+	Logger *slog.Logger
 }
 
 // DefaultTemporalMineOptions mirrors the paper's successful run:
@@ -525,6 +543,8 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 		MaxCandidates: opts.MaxCandidates,
 		MaxEmbeddings: opts.MaxEmbeddings,
 		Parallelism:   opts.Parallelism,
+		Progress:      opts.Progress,
+		Logger:        opts.Logger,
 	}
 
 	// Delta mode: rehydrate the parent run and mine only the appended
@@ -555,6 +575,7 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 			Txns:       part.Transactions[:r.NumTransactions()],
 			Levels:     levels,
 			MinSupport: m.MinSupport,
+			Generation: m.Generation,
 		}
 		generation = m.Generation + 1
 	}

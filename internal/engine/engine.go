@@ -19,7 +19,49 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"tnkd/internal/obs"
 )
+
+// Pool gauges on the process-wide registry: how much work is queued
+// behind the pool, how much is executing right now, and how much has
+// ever completed. Every MapCtx call (and Map, which wraps it)
+// contributes; early error/cancellation exits return their unclaimed
+// remainder so the gauges settle back to zero.
+var (
+	tasksQueued   = obs.Default.Gauge("tnd_engine_tasks_queued")
+	tasksInFlight = obs.Default.Gauge("tnd_engine_tasks_inflight")
+	tasksTotal    = obs.Default.Counter("tnd_engine_tasks_total")
+)
+
+// taskMeter tracks one MapCtx call's contribution to the pool gauges.
+type taskMeter struct {
+	n       int
+	started atomic.Int64
+}
+
+func newTaskMeter(n int) *taskMeter {
+	tasksQueued.Add(int64(n))
+	return &taskMeter{n: n}
+}
+
+// start moves one task from queued to in-flight.
+func (m *taskMeter) start() {
+	m.started.Add(1)
+	tasksQueued.Add(-1)
+	tasksInFlight.Add(1)
+}
+
+// finish retires one in-flight task.
+func (m *taskMeter) finish() {
+	tasksInFlight.Add(-1)
+	tasksTotal.Inc()
+}
+
+// close returns whatever never started to the queue gauge.
+func (m *taskMeter) close() {
+	tasksQueued.Add(m.started.Load() - int64(m.n))
+}
 
 // Parallelism normalises a user-supplied worker count: values <= 0
 // select runtime.GOMAXPROCS(0) (one worker per schedulable CPU), and
@@ -57,12 +99,16 @@ func MapCtx[T any](ctx context.Context, p, n int, fn func(ctx context.Context, i
 		p = n
 	}
 	results := make([]T, n)
+	meter := newTaskMeter(n)
+	defer meter.close()
 	if p == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			meter.start()
 			v, err := fn(ctx, i)
+			meter.finish()
 			if err != nil {
 				return nil, err
 			}
@@ -109,7 +155,9 @@ func MapCtx[T any](ctx context.Context, p, n int, fn func(ctx context.Context, i
 				if wctx.Err() != nil {
 					return
 				}
+				meter.start()
 				v, err := fn(wctx, i)
+				meter.finish()
 				if err != nil {
 					report(i, err)
 					return

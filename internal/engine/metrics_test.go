@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// Pool gauges are process-global, so assertions are delta-based and
+// check the settle-to-zero invariant rather than absolute values.
+func TestPoolGaugesSettle(t *testing.T) {
+	q0, i0, t0 := tasksQueued.Value(), tasksInFlight.Value(), tasksTotal.Value()
+
+	got := Map(4, 50, func(i int) int { return i * i })
+	if len(got) != 50 || got[7] != 49 {
+		t.Fatalf("Map result wrong: len=%d", len(got))
+	}
+	if d := tasksTotal.Value() - t0; d != 50 {
+		t.Fatalf("tasks_total delta = %d, want 50", d)
+	}
+	if tasksQueued.Value() != q0 || tasksInFlight.Value() != i0 {
+		t.Fatalf("gauges did not settle: queued %d->%d inflight %d->%d",
+			q0, tasksQueued.Value(), i0, tasksInFlight.Value())
+	}
+}
+
+func TestPoolGaugesSettleOnError(t *testing.T) {
+	q0, i0 := tasksQueued.Value(), tasksInFlight.Value()
+	boom := errors.New("boom")
+	for _, p := range []int{1, 4} {
+		_, err := MapCtx(context.Background(), p, 64, func(_ context.Context, i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("p=%d: err = %v, want boom", p, err)
+		}
+		if tasksQueued.Value() != q0 || tasksInFlight.Value() != i0 {
+			t.Fatalf("p=%d: gauges did not settle after error: queued %d->%d inflight %d->%d",
+				p, q0, tasksQueued.Value(), i0, tasksInFlight.Value())
+		}
+	}
+}
+
+func TestPoolGaugesSettleOnCancel(t *testing.T) {
+	q0, i0 := tasksQueued.Value(), tasksInFlight.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapCtx(ctx, 4, 32, func(context.Context, int) (int, error) {
+		return 0, nil
+	}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if tasksQueued.Value() != q0 || tasksInFlight.Value() != i0 {
+		t.Fatalf("gauges did not settle after cancel: queued %d->%d inflight %d->%d",
+			q0, tasksQueued.Value(), i0, tasksInFlight.Value())
+	}
+}

@@ -11,10 +11,33 @@
 package experiments
 
 import (
+	"fmt"
+	"log/slog"
 	"math"
 
 	"tnkd/internal/dataset"
+	"tnkd/internal/fsg"
 )
+
+// stageProgress adapts Params.Progress to a single named mining
+// stage's fsg-level callback (nil in, nil out).
+func (p Params) stageProgress(stage string) func(fsg.LevelProgress) {
+	if p.Progress == nil {
+		return nil
+	}
+	return func(ev fsg.LevelProgress) { p.Progress(stage, ev) }
+}
+
+// repProgress adapts Params.Progress to a structural run's
+// per-repetition callback, tagging each event "<stage> rep <n>".
+func (p Params) repProgress(stage string) func(int, fsg.LevelProgress) {
+	if p.Progress == nil {
+		return nil
+	}
+	return func(rep int, ev fsg.LevelProgress) {
+		p.Progress(fmt.Sprintf("%s rep %d", stage, rep), ev)
+	}
+}
 
 // Params carries the shared inputs of all experiment runners.
 type Params struct {
@@ -58,6 +81,17 @@ type Params struct {
 	// is still computed over the full dataset, so a day-limited run's
 	// transactions stay an exact prefix of the next day's.
 	Days int
+	// Progress, when non-nil, receives one event per completed
+	// Apriori level of the headline figure miners (RunFigure2/3's
+	// structural repetitions, RunFigure4's temporal mine), tagged
+	// with the mining stage ("figure4", "figure2 rep 0", ...).
+	// Events fire while the mine runs — the `-progress` streaming of
+	// cmd/tndfsg and cmd/tndtemporal. Structural repetitions mine
+	// concurrently, so the callback must be safe for concurrent use.
+	Progress func(stage string, ev fsg.LevelProgress)
+	// Logger, when non-nil, receives structured mining logs — the
+	// delta fold provenance of DeltaFrom runs. nil is silent.
+	Logger *slog.Logger
 }
 
 // NewParams generates a dataset at the given scale and returns ready

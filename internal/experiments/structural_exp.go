@@ -51,6 +51,7 @@ func RunFigure2(p Params) *Figure2Result {
 		Parallelism:   p.Parallelism,
 		StorePath:     p.StorePath,
 		DeltaFrom:     p.DeltaFrom,
+		Progress:      p.repProgress("figure2"),
 	})
 	if err != nil {
 		panic(err) // options are internally consistent
@@ -121,6 +122,7 @@ func RunFigure3(p Params) *Figure3Result {
 			Parallelism:   p.Parallelism,
 			StorePath:     storePath,
 			DeltaFrom:     deltaFrom,
+			Progress:      p.repProgress("figure3 " + strat.String()),
 		})
 		if err != nil {
 			panic(err)

@@ -135,6 +135,8 @@ func RunFigure4(p Params) *Figure4Result {
 	opts.MaxEmbeddings = p.MaxEmbeddings
 	opts.StorePath = p.StorePath
 	opts.DeltaFrom = p.DeltaFrom
+	opts.Progress = p.stageProgress("figure4")
+	opts.Logger = p.Logger
 	res, err := core.MineTemporal(p.Data, opts)
 	if err != nil {
 		panic(err)

@@ -61,6 +61,10 @@ type Prior struct {
 	// triples the append introduced). 0 = unknown, which keeps the
 	// level-1 full rescan — still exact, just linear in the old data.
 	MinSupport int
+	// Generation is the parent run's delta generation (store
+	// Meta.Generation; 0 for a full mine). Informational: it is only
+	// used to label fold-provenance logs, never to steer the mine.
+	Generation int
 }
 
 // MineDelta mines the transaction set Prior.Txns ++ added, reusing
@@ -105,6 +109,17 @@ func MineDelta(prior Prior, added []*graph.Graph, opts Options) (*Result, error)
 	all := make([]*graph.Graph, 0, len(prior.Txns)+len(added))
 	all = append(all, prior.Txns...)
 	all = append(all, added...)
+	if l := opts.Logger; l != nil {
+		l.Info("delta fold start",
+			"generation", prior.Generation+1,
+			"parent_generation", prior.Generation,
+			"prior_txns", len(prior.Txns),
+			"appended_txns", len(added),
+			"appended_tids", fmt.Sprintf("%d..%d", len(prior.Txns), len(all)-1),
+			"prior_min_support", prior.MinSupport,
+			"min_support", opts.MinSupport,
+		)
+	}
 	m := &miner{
 		txns:            all,
 		opts:            opts,
@@ -115,6 +130,21 @@ func MineDelta(prior Prior, added []*graph.Graph, opts Options) (*Result, error)
 	}
 	if err := m.run(); err != nil {
 		return nil, err
+	}
+	if l := opts.Logger; l != nil {
+		var reused, promoted int
+		for _, lv := range m.res.Levels {
+			reused += lv.Reused
+			promoted += lv.Promoted
+		}
+		l.Info("delta fold done",
+			"generation", prior.Generation+1,
+			"levels", len(m.res.Levels),
+			"patterns", len(m.res.Patterns),
+			"reused", reused,
+			"promoted", promoted,
+			"aborted", m.res.Aborted,
+		)
 	}
 	return m.res, nil
 }

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a logger following the repo's structured-logging
+// convention: one JSON object per line to w, lower-case snake_case
+// attribute keys, durations as slog.Duration attrs. Binaries log to
+// stderr so machine-readable stdout output stays byte-identical.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Discard returns a logger that drops every record; the nil-object
+// for optional Logger fields so call sites never nil-check.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,444 @@
+// Package obs is the repo's zero-dependency observability substrate:
+// a metrics registry of atomic counters, gauges and fixed-bucket
+// histograms, rendered in Prometheus text exposition format, plus the
+// structured-logging convention (log/slog, one JSON object per line).
+//
+// Naming scheme: every metric is prefixed "tnd_", counters end in
+// "_total", gauges and histograms name their unit ("_bytes",
+// "_seconds"). Series are distinguished by label pairs (mount, route,
+// level, ...) passed at lookup time; lookups are get-or-create and
+// cheap enough for hot paths when the returned instrument is cached,
+// but hot paths should still hold the instrument, not the name.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. Library instrumentation
+// (engine, store) registers here; servers may substitute their own
+// registry via options for test isolation.
+var Default = NewRegistry()
+
+// Counter is a monotonically increasing value. All methods are safe
+// for concurrent use and nil-safe: a nil *Counter discards updates,
+// so optional instrumentation needs no guards at the call site.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be >= 0; negative deltas
+// are a programming error but are applied as-is rather than panicking
+// on a hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (queue depths, open
+// readers, resident bytes). Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current gauge value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Bucket upper bounds are
+// set at registration and immutable; an implicit +Inf bucket catches
+// the tail. Observe is lock-free: a bucket increment, a count
+// increment, and a CAS loop folding the value into the float sum.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, exclusive of +Inf
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly ascending: %v", bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound >= v is the "le" bucket; past the last bound lands
+	// in the implicit +Inf bucket at index len(bounds).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nu := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nu) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a consistent-enough copy for tests and quantile
+// extraction. Individual loads are atomic; the snapshot as a whole is
+// not a single linearization point, which is fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile is Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+// Buckets[i] counts observations in (Bounds[i-1], Bounds[i]]; the
+// final entry is the +Inf bucket.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Bounds  []float64
+	Buckets []int64
+}
+
+// Quantile extracts an estimated quantile (0 <= q <= 1) by linear
+// interpolation inside the owning bucket, Prometheus-style. Values in
+// the +Inf bucket report the highest finite bound. Returns 0 when
+// the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if float64(cum) < rank || n == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		upper := s.Bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		return lower + (upper-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LatencyBuckets is the default bound set for request/drain latency
+// histograms, in seconds: ~25 µs to 10 s, roughly ×2.5 per step so
+// 14 buckets cover five decades with usable p99 resolution.
+var LatencyBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// SizeBuckets is the default bound set for small-count distributions
+// (batch sizes, codes per request).
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type series struct {
+	labels string // canonical rendered form: `a="x",b="y"` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	kind   metricKind
+	bounds []float64 // histograms only
+	series map[string]*series
+}
+
+// Registry owns a namespace of metric families. Lookups are
+// get-or-create: the first lookup of a name fixes its kind (and
+// bucket bounds for histograms); a later lookup under a different
+// kind panics, since that is always a programming error.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels []string) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.fams[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter named name with the given label pairs
+// (key, value, key, value, ...), creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.lookup(name, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge named name with the given label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.lookup(name, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram named name with the given label
+// pairs. bounds is consulted only on the first lookup of name; every
+// series in a family shares the family's bounds.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return r.lookup(name, kindHistogram, bounds, labels).h
+}
+
+// labelKey canonicalizes label pairs: sorted by key, rendered as
+// `k="escaped"` joined by commas. Odd-length label lists panic.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Series is one named+labeled instrument in a Snapshot.
+type Series struct {
+	Name   string
+	Labels string // canonical `k="v",...` form, "" when unlabeled
+	Kind   string // "counter", "gauge" or "histogram"
+	Value  int64  // counter/gauge value; histogram count
+	Hist   *HistogramSnapshot
+}
+
+// Snapshot returns every series in the registry, sorted by name then
+// labels — the test-facing view of the registry.
+func (r *Registry) Snapshot() []Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Series
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			sr := Series{Name: f.name, Labels: s.labels, Kind: f.kind.String()}
+			switch f.kind {
+			case kindCounter:
+				sr.Value = s.c.Value()
+			case kindGauge:
+				sr.Value = s.g.Value()
+			case kindHistogram:
+				h := s.h.Snapshot()
+				sr.Hist = &h
+				sr.Value = h.Count
+			}
+			out = append(out, sr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (0.0.4): a # TYPE line per family, one line per series,
+// histogram families expanded into cumulative _bucket series plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	// Regroup by family to emit each # TYPE line once; Snapshot is
+	// already sorted by name so families are contiguous.
+	kinds := make(map[string]string, len(snap))
+	for _, s := range snap {
+		kinds[s.Name] = s.Kind
+	}
+	var b strings.Builder
+	lastFam := ""
+	for _, s := range snap {
+		if s.Name != lastFam {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, kinds[s.Name])
+			lastFam = s.Name
+		}
+		switch s.Kind {
+		case "counter", "gauge":
+			writeSample(&b, s.Name, s.Labels, "", fmt.Sprintf("%d", s.Value))
+		case "histogram":
+			var cum int64
+			for i, n := range s.Hist.Buckets {
+				cum += n
+				le := "+Inf"
+				if i < len(s.Hist.Bounds) {
+					le = formatFloat(s.Hist.Bounds[i])
+				}
+				writeSample(&b, s.Name+"_bucket", s.Labels, `le="`+le+`"`, fmt.Sprintf("%d", cum))
+			}
+			writeSample(&b, s.Name+"_sum", s.Labels, "", formatFloat(s.Hist.Sum))
+			writeSample(&b, s.Name+"_count", s.Labels, "", fmt.Sprintf("%d", s.Hist.Count))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tnd_test_ops_total", "kind", "put")
+	g := r.Gauge("tnd_test_depth")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(2)
+				g.Add(-2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	// Same name+labels must return the same instrument.
+	if r.Counter("tnd_test_ops_total", "kind", "put") != c {
+		t.Fatal("lookup did not return the existing counter")
+	}
+	// Label order must not matter.
+	a := r.Counter("tnd_test_multi", "b", "2", "a", "1")
+	b := r.Counter("tnd_test_multi", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Add(1)
+	g.Set(2)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tnd_test_x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("tnd_test_x")
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tnd_test_seconds", []float64{0.01, 0.1, 1})
+	// 100 observations: 50 in (0,0.01], 40 in (0.01,0.1], 9 in
+	// (0.1,1], 1 in +Inf.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	wantSum := 50*0.005 + 40*0.05 + 9*0.5 + 5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+	wantBuckets := []int64{50, 40, 9, 1}
+	for i, n := range s.Buckets {
+		if n != wantBuckets[i] {
+			t.Fatalf("bucket[%d] = %d, want %d", i, n, wantBuckets[i])
+		}
+	}
+	// p50 falls exactly at the top of the first bucket.
+	if p50 := s.Quantile(0.5); math.Abs(p50-0.01) > 1e-9 {
+		t.Fatalf("p50 = %g, want 0.01", p50)
+	}
+	// p99 lands in the (0.1,1] bucket: rank 99 of 90..99 -> 0.1 + 0.9*(9/9).
+	if p99 := s.Quantile(0.99); p99 < 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %g, want within (0.1,1]", p99)
+	}
+	// Quantile in the +Inf bucket reports the highest finite bound.
+	if p := s.Quantile(1); p != 1 {
+		t.Fatalf("p100 = %g, want 1 (capped at highest bound)", p)
+	}
+	// Boundary semantics: a value equal to a bound is <= that bound.
+	h2 := r.Histogram("tnd_test_exact_seconds", []float64{1, 2})
+	h2.Observe(1)
+	if got := h2.Snapshot().Buckets[0]; got != 1 {
+		t.Fatalf("observation at bound landed in bucket %v", h2.Snapshot().Buckets)
+	}
+}
+
+func TestHistogramConcurrentExact(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	const workers, per = 8, 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per || s.Buckets[0] != workers*per {
+		t.Fatalf("count=%d bucket0=%d, want %d", s.Count, s.Buckets[0], workers*per)
+	}
+	if math.Abs(s.Sum-float64(workers*per)*0.5) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", s.Sum, float64(workers*per)*0.5)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tnd_test_requests_total", "route", "GET /v1/patterns/{code}").Add(3)
+	r.Gauge("tnd_test_depth").Set(7)
+	r.Histogram("tnd_test_seconds", []float64{0.5, 1}, "route", "GET /x").Observe(0.25)
+	r.Counter("tnd_test_esc_total", "v", "a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tnd_test_requests_total counter\n",
+		`tnd_test_requests_total{route="GET /v1/patterns/{code}"} 3` + "\n",
+		"# TYPE tnd_test_depth gauge\n",
+		"tnd_test_depth 7\n",
+		"# TYPE tnd_test_seconds histogram\n",
+		`tnd_test_seconds_bucket{route="GET /x",le="0.5"} 1` + "\n",
+		`tnd_test_seconds_bucket{route="GET /x",le="1"} 1` + "\n",
+		`tnd_test_seconds_bucket{route="GET /x",le="+Inf"} 1` + "\n",
+		`tnd_test_seconds_sum{route="GET /x"} 0.25` + "\n",
+		`tnd_test_seconds_count{route="GET /x"} 1` + "\n",
+		`tnd_test_esc_total{v="a\"b\\c\nd"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	// Each family emits exactly one TYPE line.
+	if n := strings.Count(out, "# TYPE tnd_test_seconds "); n != 1 {
+		t.Fatalf("TYPE lines for histogram = %d, want 1", n)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tnd_b_total").Inc()
+	r.Counter("tnd_a_total", "m", "y").Inc()
+	r.Counter("tnd_a_total", "m", "x").Inc()
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	if snap[0].Labels != `m="x"` || snap[1].Labels != `m="y"` || snap[2].Name != "tnd_b_total" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+}
+
+func TestLoggerConvention(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	l.Info("remount", "mount", "base", "generation", 2)
+	l.Debug("dropped")
+	var rec map[string]any
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "\n") {
+		t.Fatalf("expected exactly one log line, got %q", buf.String())
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, line)
+	}
+	if rec["msg"] != "remount" || rec["mount"] != "base" {
+		t.Fatalf("unexpected record %v", rec)
+	}
+	Discard().Info("nowhere")
+}

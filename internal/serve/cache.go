@@ -4,11 +4,25 @@ import (
 	"container/list"
 	"encoding/json"
 	"sync"
+
+	"tnkd/internal/obs"
 )
 
 // defaultPatternCacheBytes sizes the per-mount pattern-body LRU when
 // Options.PatternCacheBytes is zero.
 const defaultPatternCacheBytes = 8 << 20
+
+// cacheMetrics is the registry-backed instrument set of one mount's
+// pattern cache. Fields may be nil (obs instruments are nil-safe), so
+// a cache built without a registry — direct construction in tests —
+// still accounts exactly in its own fields.
+type cacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	usedBytes *obs.Gauge
+	entries   *obs.Gauge
+}
 
 // patternCache is a byte-bounded LRU of marshaled pattern-record
 // bodies, keyed by record index within one mount. Records are
@@ -17,13 +31,16 @@ const defaultPatternCacheBytes = 8 << 20
 // the old snapshot. The bound is on body bytes (the thing that
 // actually grows), not entry count.
 type patternCache struct {
-	mu       sync.Mutex
-	capBytes int
-	used     int
-	ll       *list.List // front = most recently used
-	items    map[int]*list.Element
-	hits     uint64
-	misses   uint64
+	mu         sync.Mutex
+	capBytes   int
+	used       int
+	ll         *list.List // front = most recently used
+	items      map[int]*list.Element
+	hits       uint64
+	misses     uint64
+	insertions uint64
+	evictions  uint64
+	met        cacheMetrics
 }
 
 type cacheItem struct {
@@ -31,8 +48,8 @@ type cacheItem struct {
 	body json.RawMessage
 }
 
-func newPatternCache(capBytes int) *patternCache {
-	return &patternCache{capBytes: capBytes, ll: list.New(), items: make(map[int]*list.Element)}
+func newPatternCache(capBytes int, met cacheMetrics) *patternCache {
+	return &patternCache{capBytes: capBytes, ll: list.New(), items: make(map[int]*list.Element), met: met}
 }
 
 func (c *patternCache) get(key int) (json.RawMessage, bool) {
@@ -41,9 +58,11 @@ func (c *patternCache) get(key int) (json.RawMessage, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		c.met.misses.Inc()
 		return nil, false
 	}
 	c.hits++
+	c.met.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheItem).body, true
 }
@@ -62,6 +81,7 @@ func (c *patternCache) put(key int, body json.RawMessage) {
 	} else {
 		c.items[key] = c.ll.PushFront(&cacheItem{key: key, body: body})
 		c.used += len(body)
+		c.insertions++
 	}
 	for c.used > c.capBytes {
 		back := c.ll.Back()
@@ -72,7 +92,11 @@ func (c *patternCache) put(key int, body json.RawMessage) {
 		c.ll.Remove(back)
 		delete(c.items, it.key)
 		c.used -= len(it.body)
+		c.evictions++
+		c.met.evictions.Inc()
 	}
+	c.met.usedBytes.Set(int64(c.used))
+	c.met.entries.Set(int64(len(c.items)))
 }
 
 // CacheStatsJSON reports one mount's pattern-body cache in
@@ -83,6 +107,7 @@ type CacheStatsJSON struct {
 	Entries       int    `json:"entries"`
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
 }
 
 func (c *patternCache) stats() CacheStatsJSON {
@@ -94,5 +119,6 @@ func (c *patternCache) stats() CacheStatsJSON {
 		Entries:       len(c.items),
 		Hits:          c.hits,
 		Misses:        c.misses,
+		Evictions:     c.evictions,
 	}
 }

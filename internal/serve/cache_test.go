@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestPatternCacheEvictionAccountingUnderChurn drives the cache past
+// its byte bound from many goroutines and checks that every ledger
+// the cache keeps stays exact: hits+misses == gets, used bytes ==
+// the sum of resident bodies, entries == map == list, insertions -
+// evictions == resident entries, and the byte bound holds. Run under
+// -race this is also the cache's concurrency proof.
+func TestPatternCacheEvictionAccountingUnderChurn(t *testing.T) {
+	const (
+		capBytes  = 1 << 14 // 16 KiB: small enough to evict constantly
+		workers   = 8
+		opsPer    = 4000
+		keySpace  = 256
+		oversized = capBytes + 1
+	)
+	c := newPatternCache(capBytes, cacheMetrics{})
+	bodyFor := func(key, variant int) json.RawMessage {
+		// Deterministic size in [64, 575], varying per put so the
+		// replace path exercises the used-bytes adjustment.
+		n := 64 + (key*31+variant*17)%512
+		return make(json.RawMessage, n)
+	}
+
+	var gets, oversizedPuts int64
+	var mu sync.Mutex // guards the tallies above
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var localGets, localOversized int64
+			for i := 0; i < opsPer; i++ {
+				key := rng.Intn(keySpace)
+				switch rng.Intn(4) {
+				case 0:
+					localGets++
+					c.get(key)
+				case 1:
+					// Oversized bodies must be rejected without
+					// touching any ledger.
+					localOversized++
+					c.put(key, make(json.RawMessage, oversized))
+				default:
+					c.put(key, bodyFor(key, i))
+				}
+			}
+			mu.Lock()
+			gets += localGets
+			oversizedPuts += localOversized
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	st := c.stats()
+	if st.Hits+st.Misses != uint64(gets) {
+		t.Fatalf("hits(%d) + misses(%d) != gets(%d)", st.Hits, st.Misses, gets)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("churn past the byte bound produced no evictions — test is not exercising eviction")
+	}
+	if st.UsedBytes > capBytes {
+		t.Fatalf("used %d exceeds capacity %d", st.UsedBytes, capBytes)
+	}
+
+	// Internal consistency, recomputed from the ground truth.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sum := 0
+	listLen := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*cacheItem)
+		sum += len(it.body)
+		listLen++
+		if got, ok := c.items[it.key]; !ok || got != el {
+			t.Fatalf("list entry %d not indexed in items map", it.key)
+		}
+	}
+	if sum != c.used {
+		t.Fatalf("used = %d, resident body bytes = %d", c.used, sum)
+	}
+	if listLen != len(c.items) || st.Entries != len(c.items) {
+		t.Fatalf("entries diverge: list %d, map %d, stats %d", listLen, len(c.items), st.Entries)
+	}
+	if c.insertions-c.evictions != uint64(len(c.items)) {
+		t.Fatalf("insertions(%d) - evictions(%d) != resident entries(%d)",
+			c.insertions, c.evictions, len(c.items))
+	}
+}
+
+// TestPatternCacheReplaceAdjustsBytes pins the replace path: putting
+// a different-sized body under an existing key adjusts used bytes by
+// the delta and inserts nothing.
+func TestPatternCacheReplaceAdjustsBytes(t *testing.T) {
+	c := newPatternCache(1<<20, cacheMetrics{})
+	c.put(1, make(json.RawMessage, 100))
+	c.put(1, make(json.RawMessage, 300))
+	st := c.stats()
+	if st.UsedBytes != 300 || st.Entries != 1 {
+		t.Fatalf("after replace: used=%d entries=%d, want 300/1", st.UsedBytes, st.Entries)
+	}
+	if c.insertions != 1 || c.evictions != 0 {
+		t.Fatalf("replace counted as insertion/eviction: %d/%d", c.insertions, c.evictions)
+	}
+	// LRU order: evictions remove the least recently used key.
+	small := newPatternCache(250, cacheMetrics{})
+	small.put(1, make(json.RawMessage, 100))
+	small.put(2, make(json.RawMessage, 100))
+	small.get(1) // 2 is now LRU
+	small.put(3, make(json.RawMessage, 100))
+	if _, ok := small.items[2]; ok {
+		t.Fatal("LRU key 2 survived eviction")
+	}
+	if _, ok := small.items[1]; !ok {
+		t.Fatal("recently used key 1 was evicted")
+	}
+	if small.evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", small.evictions)
+	}
+}

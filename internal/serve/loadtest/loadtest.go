@@ -11,6 +11,7 @@
 package loadtest
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -21,6 +22,8 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -72,6 +75,30 @@ type Result struct {
 	Failures    int          `json:"failures"`
 	RPS         float64      `json:"rps"`
 	Classes     []ClassStats `json:"classes"`
+	// Server cross-checks the server's own /metrics counters against
+	// the client-side tallies above. Nil when the server exposes no
+	// /metrics endpoint.
+	Server *ServerCheck `json:"server,omitempty"`
+}
+
+// ServerCheck is the server's view of the run, scraped from /metrics
+// before the first and after the last request. Workers finish their
+// in-flight request before exiting (the deadline gates issuing, not
+// completing), and the server counts requests on middleware entry, so
+// with an otherwise idle server both sides must agree exactly.
+type ServerCheck struct {
+	// RequestsDelta is the growth of tnd_http_requests_total summed
+	// over the five workload routes. Must equal Requests.
+	RequestsDelta int64 `json:"requests_delta"`
+	// FailedDelta is the growth of tnd_http_requests_failed_total
+	// (5xx responses) over the same routes. Must be zero.
+	FailedDelta int64 `json:"failed_delta"`
+	// PerClass maps class name to that route's request growth.
+	PerClass map[string]int64 `json:"per_class"`
+	// Match reports whether every cross-check held; Detail names the
+	// first divergence when it did not.
+	Match  bool   `json:"match"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // Class returns the named class stats (zero value if the class did
@@ -106,6 +133,17 @@ const (
 )
 
 var classNames = [numClasses]string{"point", "batch", "support", "locations", "stores"}
+
+// classRoutes are the serve-side route patterns each class lands on —
+// the label values of the server's per-route counters. They must stay
+// in lockstep with the ServeMux patterns in internal/serve.
+var classRoutes = [numClasses]string{
+	classPoint:     "GET /v1/patterns/{code}",
+	classBatch:     "POST /v1/patterns:batch",
+	classSupport:   "GET /v1/patterns/{code}/support",
+	classLocations: "GET /v1/locations/{label}/patterns",
+	classStores:    "GET /v1/stores",
+}
 
 var schedule = [...]int{
 	classPoint, classBatch, classPoint, classSupport, classPoint,
@@ -143,9 +181,17 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 
-	runCtx, cancel := context.WithTimeout(ctx, duration)
-	defer cancel()
+	// Scrape the server's counters before the first request. A nil
+	// map (no /metrics route) skips the cross-check, not the run.
+	before, scrapeErr := scrapeMetrics(ctx, client, opts.BaseURL)
+
+	// The deadline gates *issuing* requests; a request already in
+	// flight when it passes still completes and is counted. Cutting
+	// requests off mid-flight (a deadline context) would leave the
+	// server having counted an arrival the client discarded, and the
+	// cross-check below could never be exact.
 	start := time.Now()
+	deadline := start.Add(duration)
 	perWorker := make([][]sample, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
@@ -154,14 +200,14 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1 + wi)))
 			var samples []sample
-			for i := 0; runCtx.Err() == nil; i++ {
+			for i := 0; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
 				class := schedule[i%len(schedule)]
 				if class == classLocations && len(opts.Labels) == 0 {
 					class = classPoint
 				}
-				s := oneRequest(runCtx, client, opts, rng, class, batch)
-				if runCtx.Err() != nil && s.failed {
-					break // deadline hit mid-request; not a server failure
+				s := oneRequest(ctx, client, opts, rng, class, batch)
+				if ctx.Err() != nil {
+					break // external cancel mid-request; server may disagree
 				}
 				samples = append(samples, s)
 			}
@@ -204,7 +250,86 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 		c.CodesPerSec = float64(c.Codes) / elapsed
 		res.Classes = append(res.Classes, c)
 	}
+	if scrapeErr == nil && before != nil {
+		after, err := scrapeMetrics(ctx, client, opts.BaseURL)
+		if err == nil && after != nil {
+			res.Server = crossCheck(before, after, agg, &res)
+		}
+	}
 	return res, nil
+}
+
+// crossCheck diffs two /metrics scrapes over the workload routes and
+// compares against the client tallies.
+func crossCheck(before, after map[string]float64, agg []ClassStats, res *Result) *ServerCheck {
+	sc := &ServerCheck{PerClass: make(map[string]int64, numClasses)}
+	sc.Match = true
+	fail := func(format string, args ...any) {
+		if sc.Match {
+			sc.Match = false
+			sc.Detail = fmt.Sprintf(format, args...)
+		}
+	}
+	for class, route := range classRoutes {
+		key := fmt.Sprintf("tnd_http_requests_total{route=%q}", route)
+		d := int64(after[key]) - int64(before[key])
+		sc.PerClass[classNames[class]] = d
+		sc.RequestsDelta += d
+		if d != int64(agg[class].Requests) {
+			fail("class %s: server saw %d requests, client sent %d",
+				classNames[class], d, agg[class].Requests)
+		}
+		fkey := fmt.Sprintf("tnd_http_requests_failed_total{route=%q}", route)
+		sc.FailedDelta += int64(after[fkey]) - int64(before[fkey])
+	}
+	if sc.FailedDelta != 0 {
+		fail("server counted %d failed (5xx) responses", sc.FailedDelta)
+	}
+	if sc.RequestsDelta != int64(res.Requests) {
+		fail("server saw %d requests total, client sent %d", sc.RequestsDelta, res.Requests)
+	}
+	return sc
+}
+
+// scrapeMetrics fetches and parses the server's Prometheus text
+// exposition into name{labels} -> value. A 404 returns (nil, nil):
+// the server simply has no metrics endpoint.
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadtest: GET /metrics: %s", resp.Status)
+	}
+	vals := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		vals[line[:i]] = v
+	}
+	return vals, sc.Err()
 }
 
 func percentile(sorted []float64, q float64) float64 {

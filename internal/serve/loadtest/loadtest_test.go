@@ -111,6 +111,19 @@ func TestLoadUnderRemount(t *testing.T) {
 	if res.Failures != 0 {
 		t.Fatalf("%d of %d requests failed across the remount", res.Failures, res.Requests)
 	}
+	// The server's own /metrics counters must agree exactly with the
+	// client tallies: every request the client sent arrived, none was
+	// double-counted, and the server returned no 5xx.
+	if res.Server == nil {
+		t.Fatal("server cross-check missing — /metrics not scraped")
+	}
+	if !res.Server.Match {
+		t.Fatalf("client/server cross-check failed: %s (server %+v, client %d requests)",
+			res.Server.Detail, res.Server, res.Requests)
+	}
+	if res.Server.RequestsDelta != int64(res.Requests) {
+		t.Fatalf("server requests delta %d != client %d", res.Server.RequestsDelta, res.Requests)
+	}
 	point, batch := res.Class("point"), res.Class("batch")
 	if point.Requests == 0 || batch.Requests == 0 {
 		t.Fatalf("workload did not exercise both point (%d) and batch (%d)", point.Requests, batch.Requests)

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"tnkd/internal/obs"
+)
+
+// routePatterns lists every pattern Handler registers, in route
+// order. Per-route instruments are prebuilt from this list in New, so
+// the hot path is a map hit; a request the mux cannot match (404,
+// 405) lands on the shared "unmatched" series instead.
+var routePatterns = []string{
+	"GET /healthz",
+	"GET /metrics",
+	"GET /v1/stores",
+	"GET /v1/levels",
+	"GET /v1/levels/{edges}",
+	"GET /v1/patterns/{code}",
+	"POST /v1/patterns:batch",
+	"GET /v1/patterns/{code}/support",
+	"GET /v1/patterns/{code}/occurrences",
+	"GET /v1/locations/{label}/patterns",
+	"POST /v1/admin/remount",
+}
+
+// unmatchedRoute is the route label for requests no pattern matched.
+const unmatchedRoute = "unmatched"
+
+// routeMetrics is one route's instrument set.
+type routeMetrics struct {
+	requests *obs.Counter
+	failed   *obs.Counter
+	bytes    *obs.Counter
+	latency  *obs.Histogram
+}
+
+func newRouteMetrics(m *obs.Registry, route string) *routeMetrics {
+	return &routeMetrics{
+		requests: m.Counter("tnd_http_requests_total", "route", route),
+		failed:   m.Counter("tnd_http_requests_failed_total", "route", route),
+		bytes:    m.Counter("tnd_http_response_bytes_total", "route", route),
+		latency:  m.Histogram("tnd_http_request_seconds", obs.LatencyBuckets, "route", route),
+	}
+}
+
+// countingWriter intercepts the response to record status and body
+// size. A 5xx increments the route's failure counter at WriteHeader
+// time — before the client can observe the response — so a /metrics
+// scrape taken after a response was read always reflects it.
+type countingWriter struct {
+	http.ResponseWriter
+	st     int
+	bytes  int
+	failed *obs.Counter
+}
+
+func (w *countingWriter) WriteHeader(status int) {
+	if w.st == 0 {
+		w.st = status
+		if status >= 500 {
+			w.failed.Add(1)
+		}
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	if w.st == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+func (w *countingWriter) status() int {
+	if w.st == 0 {
+		return http.StatusOK
+	}
+	return w.st
+}
+
+// instrument wraps the routed mux in the telemetry middleware:
+// per-route request/failure/byte counters and latency histograms,
+// plus one structured access-log line per request. The request
+// counter increments on entry, not completion, so the loadtest
+// client-vs-server cross-check is exact: any response a client has
+// read was already counted when it scrapes /metrics afterwards.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		route := pattern
+		rm := s.routes[pattern]
+		if rm == nil {
+			route = unmatchedRoute
+			rm = s.unmatched
+		}
+		rm.requests.Add(1)
+		cw := &countingWriter{ResponseWriter: w, failed: rm.failed}
+		start := time.Now()
+		mux.ServeHTTP(cw, r)
+		elapsed := time.Since(start)
+		rm.latency.Observe(elapsed.Seconds())
+		rm.bytes.Add(int64(cw.bytes))
+		s.logger.Info("request",
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", cw.status(),
+			"bytes", cw.bytes,
+			"duration", elapsed,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// handleMetrics renders the server's registry in Prometheus text
+// exposition format. Like /healthz it does not pin the mount
+// snapshot: it must answer even while a remount drains.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w) //nolint:errcheck // client gone mid-write
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"tnkd/internal/obs"
+)
+
+// syncBuffer makes a bytes.Buffer safe for the concurrent writes the
+// access log produces under parallel requests.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name, labels string) int64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name && s.Labels == labels {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+func TestMetricsMiddlewareAndEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf syncBuffer
+	f := newMinedFixtureOpts(t, Options{
+		Parallelism: 4,
+		Metrics:     reg,
+		Logger:      obs.NewLogger(&logBuf, 0),
+	})
+	code := f.result.Patterns[0].Code
+
+	getJSON(t, f.ts, "/healthz", nil)
+	getJSON(t, f.ts, "/v1/stores", nil)
+	// Two hits on the same pattern: one cache miss, one hit.
+	getJSON(t, f.ts, "/v1/patterns/"+codePath(code), nil)
+	getJSON(t, f.ts, "/v1/patterns/"+codePath(code), nil)
+	// A miss on the pattern route still counts on that route.
+	getJSON(t, f.ts, "/v1/patterns/no-such-code", nil, http.StatusNotFound)
+	// An unrouted path lands on the unmatched series.
+	getJSON(t, f.ts, "/nope", nil, http.StatusNotFound)
+	// One batch of 2 codes.
+	resp, err := http.Post(f.ts.URL+"/v1/patterns:batch", "application/json",
+		strings.NewReader(`{"codes":["`+jsonEscape(code)+`","absent"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	patternRoute := `route="GET /v1/patterns/{code}"`
+	if got := counterValue(t, reg, "tnd_http_requests_total", patternRoute); got != 3 {
+		t.Fatalf("pattern route requests = %d, want 3", got)
+	}
+	if got := counterValue(t, reg, "tnd_http_requests_total", `route="unmatched"`); got != 1 {
+		t.Fatalf("unmatched requests = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "tnd_http_requests_failed_total", patternRoute); got != 0 {
+		t.Fatalf("pattern route failed = %d, want 0 (404 is not a failure)", got)
+	}
+	if got := counterValue(t, reg, "tnd_serve_cache_hits_total", `mount="mined"`); got < 1 {
+		t.Fatalf("cache hits = %d, want >= 1", got)
+	}
+	if got := counterValue(t, reg, "tnd_serve_cache_misses_total", `mount="mined"`); got < 1 {
+		t.Fatalf("cache misses = %d, want >= 1", got)
+	}
+	// Histogram count matches requests; sum is positive.
+	var hist *obs.HistogramSnapshot
+	for _, s := range reg.Snapshot() {
+		if s.Name == "tnd_http_request_seconds" && s.Labels == patternRoute {
+			hist = s.Hist
+		}
+	}
+	if hist == nil || hist.Count != 3 || hist.Sum <= 0 {
+		t.Fatalf("pattern route latency histogram = %+v, want count 3, sum > 0", hist)
+	}
+	for _, s := range reg.Snapshot() {
+		if s.Name == "tnd_serve_batch_codes" {
+			if s.Hist.Count != 1 || s.Hist.Sum != 2 {
+				t.Fatalf("batch codes histogram = %+v, want one observation of 2", s.Hist)
+			}
+		}
+	}
+
+	// /v1/stores cache stats and registry counters agree.
+	var stores []struct {
+		Cache *CacheStatsJSON `json:"cache"`
+	}
+	getJSON(t, f.ts, "/v1/stores", &stores)
+	if len(stores) != 1 || stores[0].Cache == nil {
+		t.Fatalf("stores response missing cache stats: %+v", stores)
+	}
+	if int64(stores[0].Cache.Hits) != counterValue(t, reg, "tnd_serve_cache_hits_total", `mount="mined"`) {
+		t.Fatalf("cache hits diverge: JSON %d, registry %d",
+			stores[0].Cache.Hits, counterValue(t, reg, "tnd_serve_cache_hits_total", `mount="mined"`))
+	}
+
+	// The Prometheus endpoint renders the per-route series.
+	mresp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"# TYPE tnd_http_requests_total counter",
+		`tnd_http_requests_total{route="GET /v1/patterns/{code}"} 3`,
+		"# TYPE tnd_http_request_seconds histogram",
+		`tnd_serve_cache_hits_total{mount="mined"}`,
+		`tnd_http_requests_total{route="GET /metrics"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Access log: one JSON line per request, with the agreed keys.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("access log lines = %d, want >= 7", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access log line not JSON: %v (%q)", err, lines[0])
+	}
+	for _, k := range []string{"method", "route", "path", "status", "bytes", "duration", "remote"} {
+		if _, ok := rec[k]; !ok {
+			t.Fatalf("access log record missing %q: %v", k, rec)
+		}
+	}
+	if rec["msg"] != "request" || rec["route"] != "GET /healthz" {
+		t.Fatalf("unexpected first access-log record: %v", rec)
+	}
+}
+
+func jsonEscape(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b[1 : len(b)-1])
+}
+
+func TestMetricsFailureCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := newMinedFixtureOpts(t, Options{Parallelism: 1, Metrics: reg})
+	// A closed server answers 503 on pinned routes — a 5xx the
+	// middleware must count as failed.
+	if err := f.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, f.ts, "/v1/stores", nil, http.StatusServiceUnavailable)
+	if got := counterValue(t, reg, "tnd_http_requests_failed_total", `route="GET /v1/stores"`); got != 1 {
+		t.Fatalf("failed counter = %d, want 1", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"tnkd/internal/obs"
 	"tnkd/internal/store"
 )
 
@@ -69,6 +70,7 @@ func validateLineage(cur, cand *store.Reader) error {
 func (s *Server) Remount(name, path string) (RemountResult, error) {
 	rd, err := store.Open(path)
 	if err != nil {
+		s.remountFailed(path, err)
 		return RemountResult{}, fmt.Errorf("serve: open remount candidate: %w", err)
 	}
 	res, err := s.remountReader(name, rd)
@@ -85,6 +87,7 @@ func (s *Server) Remount(name, path string) (RemountResult, error) {
 func (s *Server) RemountAuto(path string) (RemountResult, error) {
 	rd, err := store.Open(path)
 	if err != nil {
+		s.remountFailed(path, err)
 		return RemountResult{}, fmt.Errorf("serve: open remount candidate: %w", err)
 	}
 	s.mu.RLock()
@@ -103,7 +106,9 @@ func (s *Server) RemountAuto(path string) (RemountResult, error) {
 	}
 	if name == "" {
 		rd.Close() //nolint:errcheck
-		return RemountResult{}, fmt.Errorf("%w: %s matches no mounted lineage", ErrProvenance, path)
+		err := fmt.Errorf("%w: %s matches no mounted lineage", ErrProvenance, path)
+		s.remountFailed(path, err)
+		return RemountResult{}, err
 	}
 	res, err := s.remountReader(name, rd)
 	if err != nil {
@@ -133,11 +138,14 @@ func (s *Server) remountReader(name string, rd *store.Reader) (RemountResult, er
 	}
 	if ei < 0 {
 		s.mu.Unlock()
-		return RemountResult{}, fmt.Errorf("%w: %q", ErrNoSuchStore, name)
+		err := fmt.Errorf("%w: %q", ErrNoSuchStore, name)
+		s.remountFailed(rd.Path(), err)
+		return RemountResult{}, err
 	}
 	old := st.entries[ei].m.Reader
 	if err := validateLineage(old, rd); err != nil {
 		s.mu.Unlock()
+		s.remountFailed(rd.Path(), err)
 		return RemountResult{}, err
 	}
 	entries := make([]*mountEntry, len(st.entries))
@@ -149,7 +157,10 @@ func (s *Server) remountReader(name string, rd *store.Reader) (RemountResult, er
 	// Drain-then-close: every request pinned to the old snapshot
 	// finishes against the old reader before it closes. Unaffected
 	// mounts share their entries (and caches) with the new snapshot.
+	drainStart := time.Now()
 	st.wg.Wait()
+	s.metrics.Histogram("tnd_serve_remount_drain_seconds", obs.LatencyBuckets, "mount", name).
+		Observe(time.Since(drainStart).Seconds())
 	res := RemountResult{
 		Store:         name,
 		Path:          rd.Path(),
@@ -158,10 +169,26 @@ func (s *Server) remountReader(name string, rd *store.Reader) (RemountResult, er
 	}
 	err := old.Close()
 	res.SwapMillis = float64(time.Since(start).Microseconds()) / 1000
+	s.metrics.Counter("tnd_serve_remounts_total", "mount", name).Inc()
+	s.logger.Info("remount",
+		"mount", name,
+		"path", res.Path,
+		"old_generation", res.OldGeneration,
+		"new_generation", res.NewGeneration,
+		"swap_ms", res.SwapMillis,
+	)
 	if err != nil {
 		return res, fmt.Errorf("serve: close replaced reader: %w", err)
 	}
 	return res, nil
+}
+
+// remountFailed records one rejected or failed remount attempt. The
+// counter is unlabeled: failures often happen before any mount name
+// is known (open errors, lineage mismatches).
+func (s *Server) remountFailed(path string, err error) {
+	s.metrics.Counter("tnd_serve_remount_failures_total").Inc()
+	s.logger.Warn("remount rejected", "path", path, "error", err.Error())
 }
 
 // handleRemount is the admin endpoint for hot swaps. Body:

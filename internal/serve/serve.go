@@ -58,6 +58,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -67,6 +68,7 @@ import (
 	"tnkd/internal/engine"
 	"tnkd/internal/graph"
 	"tnkd/internal/iso"
+	"tnkd/internal/obs"
 	"tnkd/internal/store"
 )
 
@@ -90,6 +92,13 @@ type Options struct {
 	// pattern-record bodies shared by the point and batch pattern
 	// endpoints (0 = 8 MiB, < 0 disables the cache).
 	PatternCacheBytes int
+	// Metrics is the registry the server instruments into and the
+	// GET /metrics endpoint renders (nil = obs.Default). Tests pass
+	// their own registry for isolation.
+	Metrics *obs.Registry
+	// Logger receives the structured access log (one Info line per
+	// request) and http.Server error noise (nil = discard).
+	Logger *slog.Logger
 }
 
 // Mount is one named store served by a Server.
@@ -125,7 +134,15 @@ type state struct {
 // Server answers queries over one or more mounted stores. It is safe
 // for concurrent use, including concurrent remounts.
 type Server struct {
-	opts Options
+	opts    Options
+	metrics *obs.Registry
+	logger  *slog.Logger
+
+	// Per-route instrument sets, prebuilt in New so the middleware's
+	// hot path is one map hit; unmatched catches 404/405 traffic.
+	routes     map[string]*routeMetrics
+	unmatched  *routeMetrics
+	batchCodes *obs.Histogram
 
 	mu  sync.RWMutex
 	cur *state // nil after Close
@@ -134,7 +151,19 @@ type Server struct {
 // New builds a Server over the given mounts. Mount order is response
 // order.
 func New(mounts []Mount, opts Options) *Server {
-	s := &Server{opts: opts}
+	s := &Server{opts: opts, metrics: opts.Metrics, logger: opts.Logger}
+	if s.metrics == nil {
+		s.metrics = obs.Default
+	}
+	if s.logger == nil {
+		s.logger = obs.Discard()
+	}
+	s.routes = make(map[string]*routeMetrics, len(routePatterns))
+	for _, pat := range routePatterns {
+		s.routes[pat] = newRouteMetrics(s.metrics, pat)
+	}
+	s.unmatched = newRouteMetrics(s.metrics, unmatchedRoute)
+	s.batchCodes = s.metrics.Histogram("tnd_serve_batch_codes", obs.SizeBuckets)
 	entries := make([]*mountEntry, len(mounts))
 	for i, m := range mounts {
 		entries[i] = s.newEntry(m)
@@ -150,7 +179,15 @@ func (s *Server) newEntry(m Mount) *mountEntry {
 		capBytes = defaultPatternCacheBytes
 	}
 	if capBytes > 0 {
-		e.cache = newPatternCache(capBytes)
+		// Cache series are labeled by mount name, not generation, so
+		// counters accumulate across remounts of the same mount.
+		e.cache = newPatternCache(capBytes, cacheMetrics{
+			hits:      s.metrics.Counter("tnd_serve_cache_hits_total", "mount", m.Name),
+			misses:    s.metrics.Counter("tnd_serve_cache_misses_total", "mount", m.Name),
+			evictions: s.metrics.Counter("tnd_serve_cache_evictions_total", "mount", m.Name),
+			usedBytes: s.metrics.Gauge("tnd_serve_cache_used_bytes", "mount", m.Name),
+			entries:   s.metrics.Gauge("tnd_serve_cache_entries", "mount", m.Name),
+		})
 	}
 	return e
 }
@@ -192,12 +229,16 @@ func (s *Server) Close() error {
 	return first
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler, wrapped in the telemetry
+// middleware (per-route metrics + access log). Registered patterns
+// must stay in sync with routePatterns, which prebuilds the
+// per-route instruments.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stores", s.pinned(s.handleStores))
 	mux.HandleFunc("GET /v1/levels", s.pinned(s.handleLevels))
 	mux.HandleFunc("GET /v1/levels/{edges}", s.pinned(s.handleLevel))
@@ -207,7 +248,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/patterns/{code}/occurrences", s.pinned(s.handleOccurrences))
 	mux.HandleFunc("GET /v1/locations/{label}/patterns", s.pinned(s.handleLocation))
 	mux.HandleFunc("POST /v1/admin/remount", s.handleRemount)
-	return mux
+	return s.instrument(mux)
 }
 
 // pinned adapts a snapshot-scoped handler: acquire the current
@@ -236,6 +277,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: timeoutOr(s.opts.ReadHeaderTimeout, 5*time.Second),
 		IdleTimeout:       timeoutOr(s.opts.IdleTimeout, 120*time.Second),
+		// Accept/TLS/panic noise goes through the structured logger
+		// instead of the stdlib's default stderr formatting.
+		ErrorLog: slog.NewLogLogger(s.logger.Handler(), slog.LevelError),
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -596,6 +640,7 @@ func (s *Server) handleBatch(st *state, w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "batch of %d codes exceeds the %d-code limit", len(req.Codes), maxBatchCodes)
 		return
 	}
+	s.batchCodes.Observe(float64(len(req.Codes)))
 	type job struct {
 		code int // index into req.Codes
 		mt   match

@@ -34,6 +34,12 @@ type minedFixture struct {
 }
 
 func newMinedFixture(t testing.TB) *minedFixture {
+	return newMinedFixtureOpts(t, Options{Parallelism: 4})
+}
+
+// newMinedFixtureOpts is newMinedFixture with caller-chosen server
+// options (metrics registry isolation, cache sizing, loggers).
+func newMinedFixtureOpts(t testing.TB, opts Options) *minedFixture {
 	t.Helper()
 	txns := synth.LabelStress(synth.LabelStressConfig{
 		Seed: 11, NumTransactions: 18, Lanes: 30, LanesPerTxn: 20,
@@ -67,7 +73,7 @@ func newMinedFixture(t testing.TB) *minedFixture {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { r.Close() })
-	srv := New([]Mount{{Name: "mined", Reader: r}}, Options{Parallelism: 4})
+	srv := New([]Mount{{Name: "mined", Reader: r}}, opts)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return &minedFixture{txns: txns, result: res, ts: ts, path: path, srv: srv}

@@ -1,0 +1,51 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnkd/internal/graph"
+)
+
+// Lifecycle counters are process-global; assertions are delta-based.
+func TestReaderLifecycleMetrics(t *testing.T) {
+	path := tmpStore(t)
+	rng := rand.New(rand.NewSource(1))
+	writeStore(t, path, Meta{Name: "m"}, []*graph.Graph{randGraph(rng, "g")}, nil)
+
+	opens0 := readerOpens.Value()
+	errs0 := readerOpenErrors.Value()
+	live0 := readersOpen.Value()
+	mm0, pr0 := readerMmaps.Value(), readerPreads.Value()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := readerOpens.Value() - opens0; d != 1 {
+		t.Fatalf("opens delta = %d, want 1", d)
+	}
+	if d := readersOpen.Value() - live0; d != 1 {
+		t.Fatalf("readers_open delta = %d, want 1", d)
+	}
+	if d := (readerMmaps.Value() - mm0) + (readerPreads.Value() - pr0); d != 1 {
+		t.Fatalf("mmap+pread delta = %d, want exactly 1", d)
+	}
+	// Double Close must decrement the gauge exactly once.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if d := readersOpen.Value() - live0; d != 0 {
+		t.Fatalf("readers_open after close delta = %d, want 0", d)
+	}
+
+	if _, err := Open(path + ".missing"); err == nil {
+		t.Fatal("expected open error")
+	}
+	if d := readerOpenErrors.Value() - errs0; d != 1 {
+		t.Fatalf("open_errors delta = %d, want 1", d)
+	}
+}

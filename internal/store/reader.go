@@ -10,7 +10,19 @@ import (
 	"sync"
 
 	"tnkd/internal/graph"
+	"tnkd/internal/obs"
 	"tnkd/internal/pattern"
+)
+
+// Reader lifecycle metrics on the process-wide registry: opens (and
+// failures), whether each open mapped the body or fell back to pread,
+// and how many readers are live right now.
+var (
+	readerOpens      = obs.Default.Counter("tnd_store_opens_total")
+	readerOpenErrors = obs.Default.Counter("tnd_store_open_errors_total")
+	readerMmaps      = obs.Default.Counter("tnd_store_mmap_total")
+	readerPreads     = obs.Default.Counter("tnd_store_pread_fallback_total")
+	readersOpen      = obs.Default.Gauge("tnd_store_readers_open")
 )
 
 // Reader serves random-access queries over one store file. Open
@@ -40,7 +52,20 @@ type Reader struct {
 	loc     *locIndex // persisted location index (format v4+), nil before
 
 	mu       sync.Mutex
+	closed   bool
 	txnCache []*graph.Graph
+}
+
+// opened records a successful Open/Recover in the lifecycle metrics.
+func (r *Reader) opened() *Reader {
+	readerOpens.Inc()
+	readersOpen.Add(1)
+	if r.data != nil {
+		readerMmaps.Inc()
+	} else {
+		readerPreads.Inc()
+	}
+	return r
 }
 
 // Open validates and indexes a store file. A file whose writing run
@@ -49,19 +74,22 @@ type Reader struct {
 func Open(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		readerOpenErrors.Inc()
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
 	size, version, err := checkHeader(path, f)
 	if err != nil {
 		f.Close()
+		readerOpenErrors.Inc()
 		return nil, err
 	}
 	r, err := readerAt(path, f, size, size, version)
 	if err != nil {
 		f.Close()
+		readerOpenErrors.Inc()
 		return nil, err
 	}
-	return r, nil
+	return r.opened(), nil
 }
 
 // Recover opens a store whose writing run may have died mid-write:
@@ -72,26 +100,29 @@ func Open(path string) (*Reader, error) {
 func Recover(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		readerOpenErrors.Inc()
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
 	size, version, err := checkHeader(path, f)
 	if err != nil {
 		f.Close()
+		readerOpenErrors.Inc()
 		return nil, err
 	}
 	if r, err := readerAt(path, f, size, size, version); err == nil {
-		return r, nil
+		return r.opened(), nil
 	}
 	end, err := lastFooterEnd(f, size, size)
 	for err == nil && end > 0 {
 		if r, rerr := readerAt(path, f, size, end, version); rerr == nil {
-			return r, nil
+			return r.opened(), nil
 		}
 		// A false marker hit (magic bytes inside record data) or a
 		// damaged footer: keep scanning backwards.
 		end, err = lastFooterEnd(f, size, end-1)
 	}
 	f.Close()
+	readerOpenErrors.Inc()
 	if err != nil {
 		return nil, err
 	}
@@ -260,8 +291,18 @@ func (r *Reader) parseIndex(idx []byte) error {
 	return nil
 }
 
-// Close releases the mapping and the file handle.
+// Close releases the mapping and the file handle. Close is
+// idempotent so the readers-open gauge stays exact under defer +
+// explicit double-close patterns.
 func (r *Reader) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	readersOpen.Add(-1)
 	var err error
 	if r.munmap != nil {
 		err = r.munmap()
@@ -376,11 +417,11 @@ func (r *Reader) LocationIndex() (byLabel map[string][]LocationHit, noEmb int, o
 // for the stats report: presence, label and hit counts, and its exact
 // encoded size inside the footer index block.
 type LocationIndexInfo struct {
-	Present bool
-	Labels  int
-	Hits    int
-	NoEmb   int
-	Bytes   int
+	Present bool `json:"present"`
+	Labels  int  `json:"labels"`
+	Hits    int  `json:"hits"`
+	NoEmb   int  `json:"no_embedding_records"`
+	Bytes   int  `json:"bytes"`
 }
 
 // LocationIndexStats summarises the persisted location index (zero

@@ -9,39 +9,44 @@ import (
 // LevelStats aggregates one stored level from the footer index alone
 // (no record decodes).
 type LevelStats struct {
-	Edges      int
-	Patterns   int
-	MinSupport int
-	MaxSupport int
-	SumSupport int
-	Embeddings int
+	Edges      int `json:"edges"`
+	Patterns   int `json:"patterns"`
+	MinSupport int `json:"min_support"`
+	MaxSupport int `json:"max_support"`
+	SumSupport int `json:"sum_support"`
+	Embeddings int `json:"embeddings"`
 	// Complete counts patterns with complete embedding lists;
 	// Seeded counts overflowed patterns that kept warm-start seeds;
 	// Bare counts patterns with no lists at all.
-	Complete, Seeded, Bare int
+	Complete int `json:"complete"`
+	Seeded   int `json:"seeded"`
+	Bare     int `json:"bare"`
 	// TID-column encoding: ListCols and BitsetCols count records by
 	// the encoding the writer picked (v3 stores; everything before v3
 	// is a delta-coded list). ArrayCons and BitmapCons count the
 	// containers inside bitset columns, and ColumnBytes is the
 	// on-disk size of every TID column in the level.
-	ListCols, BitsetCols  int
-	ArrayCons, BitmapCons int
-	ColumnBytes           int
+	ListCols    int `json:"list_cols"`
+	BitsetCols  int `json:"bitset_cols"`
+	ArrayCons   int `json:"array_containers"`
+	BitmapCons  int `json:"bitmap_containers"`
+	ColumnBytes int `json:"column_bytes"`
 }
 
 // Stats is the whole-store statistics report backing `tndstats
-// -store`.
+// -store`. The JSON shape (tndstats -json) is the machine-readable
+// twin of the String table and is what CI asserts on with jq.
 type Stats struct {
-	Path         string
-	Version      int
-	Meta         Meta
-	Transactions int
-	Patterns     int
-	Embeddings   int
-	Levels       []LevelStats
+	Path         string       `json:"path"`
+	Version      int          `json:"version"`
+	Meta         Meta         `json:"meta"`
+	Transactions int          `json:"transactions"`
+	Patterns     int          `json:"patterns"`
+	Embeddings   int          `json:"embeddings"`
+	Levels       []LevelStats `json:"levels"`
 	// LocIndex describes the persisted per-location inverted index
 	// section (format v4+; zero Present before).
-	LocIndex LocationIndexInfo
+	LocIndex LocationIndexInfo `json:"location_index"`
 }
 
 // ReadStats aggregates a store's index into a statistics report.
