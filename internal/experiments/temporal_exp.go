@@ -126,6 +126,20 @@ type Figure4Result struct {
 	MostlySmall bool
 }
 
+// Figure4Partition returns exactly the temporal partition RunFigure4
+// mines (same label cap, same day window), exposed so the ingest
+// arrival-stream generator (tndingest -make-batches) can slice the
+// Figure 4 transaction sequence into per-day batches whose fold chain
+// reproduces a one-shot -days N run byte-for-byte. DayStarts marks
+// where each day's transactions begin.
+func Figure4Partition(p Params) *partition.TemporalResult {
+	opts := core.DefaultTemporalMineOptions().Partition
+	opts.MaxVertexLabels = labelCap(p)
+	opts.MaxDays = p.Days
+	opts.Parallelism = p.Parallelism
+	return partition.Temporal(p.Data, opts)
+}
+
 // RunFigure4 executes the temporal mining experiment.
 func RunFigure4(p Params) *Figure4Result {
 	opts := core.DefaultTemporalMineOptions()

@@ -1,0 +1,176 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.txt")
+	var fs FS = OS{}
+	f, err := fs.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(dir, "b.txt")
+	if err := fs.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fs.Append(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("got %q", data)
+	}
+	if err := fs.Truncate(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(q); string(data) != "hello" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	if err := fs.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorErrorFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpSync, Kind: Error})
+	f, err := in.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync err = %v, want ErrInjected", err)
+	}
+	// The fault fires once; the next sync is clean.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	in := NewInjector(OS{}, Fault{Op: OpWrite, Kind: Short, Keep: 3})
+	f, err := in.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(p)
+	if string(data) != "abc" {
+		t.Fatalf("file holds %q, want torn prefix \"abc\"", data)
+	}
+}
+
+func TestInjectorKeepModes(t *testing.T) {
+	for _, tc := range []struct{ keep, n, want int }{
+		{0, 10, 0}, {4, 10, 4}, {20, 10, 10}, {-1, 10, 5}, {-2, 10, 8}, {-20, 10, 0},
+	} {
+		if got := keepBytes(tc.keep, tc.n); got != tc.want {
+			t.Errorf("keepBytes(%d, %d) = %d, want %d", tc.keep, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestInjectorCrashKillsEverything(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	in := NewInjector(OS{}, Fault{Op: OpWrite, After: 1, Kind: Crash, Keep: -1})
+	f, err := in.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("efgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second write err = %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not marked crashed")
+	}
+	// Every later operation fails, including on other paths.
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync after crash = %v", err)
+	}
+	if _, err := in.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Create after crash = %v", err)
+	}
+	if err := in.Rename(p, p+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Rename after crash = %v", err)
+	}
+	// Close still releases the handle but reports the crash.
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Close after crash = %v", err)
+	}
+	// The torn half-write landed before the crash.
+	data, _ := os.ReadFile(p)
+	if string(data) != "abcdef" {
+		t.Fatalf("file holds %q, want \"abcdef\" (4 clean + 2 torn)", data)
+	}
+}
+
+func TestInjectorAfterAndPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpCreate, Path: "journal", After: 1, Kind: Error})
+	if _, err := in.Create(filepath.Join(dir, "journal-0")); err != nil {
+		t.Fatalf("first matching create should pass: %v", err)
+	}
+	if _, err := in.Create(filepath.Join(dir, "store-0")); err != nil {
+		t.Fatalf("non-matching path should pass: %v", err)
+	}
+	if _, err := in.Create(filepath.Join(dir, "journal-1")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second matching create = %v, want ErrInjected", err)
+	}
+}
+
+func TestInjectorOpsCounting(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{})
+	f, _ := in.Create(filepath.Join(dir, "a"))
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	in.SyncDir(dir)
+	if got := in.Ops(); got != 5 {
+		t.Fatalf("Ops = %d, want 5", got)
+	}
+}

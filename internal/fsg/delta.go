@@ -34,11 +34,21 @@ package fsg
 // how much later levels re-search, never which patterns they find.
 
 import (
+	"errors"
 	"fmt"
 
 	"tnkd/internal/graph"
 	"tnkd/internal/pattern"
 )
+
+// ErrDeltaPrior reports a Prior that cannot seed a delta fold:
+// approximate legacy codes, patterns filed under the wrong level, or
+// duplicate codes within a level. It marks the *prior* (the persisted
+// run being folded into) as unusable, never the appended
+// transactions — callers like the ingest daemon use it to distinguish
+// "my store is bad" from "this batch is bad" when deciding whether to
+// retry, quarantine, or halt.
+var ErrDeltaPrior = errors.New("fsg: invalid delta prior")
 
 // Prior is the rehydrated state of a previous mining run that
 // MineDelta folds new transactions into — typically read back from an
@@ -94,13 +104,13 @@ func MineDelta(prior Prior, added []*graph.Graph, opts Options) (*Result, error)
 		for i := range pats {
 			p := &pats[i]
 			if pattern.ApproxCode(p.Code) {
-				return nil, fmt.Errorf("fsg: delta prior at level %d holds approximate code %q (a version-1 store?) — delta mining needs exact canonical codes", edges, p.Code)
+				return nil, fmt.Errorf("%w: level %d holds approximate code %q (a version-1 store?) — delta mining needs exact canonical codes", ErrDeltaPrior, edges, p.Code)
 			}
 			if p.Graph == nil || p.Graph.NumEdges() != edges {
-				return nil, fmt.Errorf("fsg: delta prior pattern %q filed under level %d has %d edges", p.Code, edges, p.Graph.NumEdges())
+				return nil, fmt.Errorf("%w: pattern %q filed under level %d has %d edges", ErrDeltaPrior, p.Code, edges, p.Graph.NumEdges())
 			}
 			if _, dup := lvl[p.Code]; dup {
-				return nil, fmt.Errorf("fsg: delta prior holds two level-%d patterns with code %q — not a single-run store", edges, p.Code)
+				return nil, fmt.Errorf("%w: two level-%d patterns with code %q — not a single-run store", ErrDeltaPrior, edges, p.Code)
 			}
 			lvl[p.Code] = p
 		}

@@ -1,0 +1,136 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+
+	"tnkd/internal/faultfs"
+)
+
+// The ingest journal is an append-only intent log: one line per
+// record, each `%08x <json>\n` — a CRC-32 of the JSON payload, a
+// space, the payload. Every append is followed by fsync, so a record
+// is either fully durable or torn; replay stops at the first torn or
+// CRC-mismatched line and truncates the tail, which makes a crash
+// mid-append indistinguishable from a crash just before it. Records:
+//
+//	begin      {batch, sha, gen, store}  — fold intent, before any store write
+//	publish    {batch, sha, gen, store}  — generation durably committed (CURRENT renamed)
+//	quarantine {batch, sha, reason}      — batch moved to poison/
+//	gc         {store}                   — old generation about to be removed
+//
+// Replay rebuilds the applied-batch set (publish records are the
+// double-apply guard) and resolves dangling begins: a begin whose
+// store file is durable and whose CURRENT pointer already advanced is
+// completed idempotently; anything else is rolled back by deleting
+// the partial store file and letting the batch re-fold from the
+// spool.
+type journalRecord struct {
+	Op     string `json:"op"`
+	Batch  string `json:"batch,omitempty"`
+	SHA    string `json:"sha,omitempty"`
+	Gen    int    `json:"gen,omitempty"`
+	Store  string `json:"store,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Unix   int64  `json:"unix,omitempty"`
+}
+
+type journal struct {
+	fs   faultfs.FS
+	path string
+	f    faultfs.File
+}
+
+// openJournal replays path (tolerating a torn tail, which it
+// truncates away) and opens it for appending.
+func openJournal(fsys faultfs.FS, path string) (*journal, []journalRecord, error) {
+	recs, keep, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi, serr := os.Stat(path); serr == nil && fi.Size() > keep {
+		if err := fsys.Truncate(path, keep); err != nil {
+			return nil, nil, fmt.Errorf("ingest: truncate torn journal tail: %w", err)
+		}
+	}
+	f, err := fsys.Append(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: open journal: %w", err)
+	}
+	return &journal{fs: fsys, path: path, f: f}, recs, nil
+}
+
+// replayJournal parses every intact record and returns them plus the
+// byte offset the journal is valid up to.
+func replayJournal(path string) ([]journalRecord, int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("ingest: read journal: %w", err)
+	}
+	var recs []journalRecord
+	var keep int64
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: an append died mid-line
+		}
+		rec, ok := parseJournalLine(data[off : off+nl])
+		if !ok {
+			break // CRC mismatch: treat everything from here as torn
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		keep = int64(off)
+	}
+	return recs, keep, nil
+}
+
+func parseJournalLine(line []byte) (journalRecord, bool) {
+	var rec journalRecord
+	sp := bytes.IndexByte(line, ' ')
+	if sp != 8 {
+		return rec, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return rec, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// append writes one record and fsyncs it — the durability point every
+// processing step pivots on.
+func (j *journal) append(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("ingest: journal marshal: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if _, err := io.WriteString(j.f, line); err != nil {
+		return fmt.Errorf("ingest: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: journal sync: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) Close() error {
+	return j.f.Close()
+}

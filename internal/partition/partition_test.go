@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"time"
 
@@ -172,6 +173,37 @@ func TestTemporalActiveWindows(t *testing.T) {
 	}
 	if res.Transactions[1].NumEdges() != 3 {
 		t.Errorf("day1 edges = %d, want 3", res.Transactions[1].NumEdges())
+	}
+	// One whole-day transaction per day: boundaries are 0,1,2.
+	if want := []int{0, 1, 2}; !slices.Equal(res.DayStarts, want) {
+		t.Errorf("DayStarts = %v, want %v", res.DayStarts, want)
+	}
+}
+
+func TestTemporalDayStartsSliceIntoPrefixRuns(t *testing.T) {
+	// A MaxDays=k run must equal the first k day-ranges of the full
+	// run — the prefix property arrival streams rely on to slice
+	// per-day batches out of a fixed dataset.
+	full := Temporal(temporalDataset(), DefaultTemporalOptions())
+	if len(full.DayStarts) != 3 {
+		t.Fatalf("DayStarts = %v, want 3 entries", full.DayStarts)
+	}
+	for k := 1; k <= 3; k++ {
+		opts := DefaultTemporalOptions()
+		opts.MaxDays = k
+		pre := Temporal(temporalDataset(), opts)
+		end := len(full.Transactions)
+		if k < len(full.DayStarts) {
+			end = full.DayStarts[k]
+		}
+		if len(pre.Transactions) != end {
+			t.Errorf("MaxDays=%d: %d transactions, want prefix length %d", k, len(pre.Transactions), end)
+		}
+		for i, g := range pre.Transactions {
+			if g.Name != full.Transactions[i].Name {
+				t.Errorf("MaxDays=%d txn %d: name %q != full run's %q", k, i, g.Name, full.Transactions[i].Name)
+			}
+		}
 	}
 }
 

@@ -64,6 +64,15 @@ func DefaultTemporalOptions() TemporalOptions {
 // bookkeeping numbers reported in Tables 2 and 3.
 type TemporalResult struct {
 	Transactions []*graph.Graph
+	// DayStarts maps each processed calendar day (in order) to the
+	// index of its first transaction in Transactions: day i
+	// contributed Transactions[DayStarts[i]:DayStarts[i+1]] (to
+	// len(Transactions) for the last day). A day whose transactions
+	// were all filtered away still has an entry (an empty range).
+	// Because a MaxDays=k run is an exact prefix of a MaxDays=k+1
+	// run, DayStarts is how arrival streams slice a fixed dataset
+	// into the per-day batches an incremental fold consumes.
+	DayStarts []int
 	// DaysTotal is the number of calendar days with at least one
 	// active OD pair (before any filtering).
 	DaysTotal int
@@ -152,6 +161,7 @@ func Temporal(d *dataset.Dataset, opts TemporalOptions) *TemporalResult {
 		return b
 	})
 	for _, b := range batches {
+		res.DayStarts = append(res.DayStarts, len(res.Transactions))
 		res.Transactions = append(res.Transactions, b.txns...)
 		res.DuplicateEdgesDropped += b.duplicateDropped
 		res.FilteredByVertexLabels += b.filteredByLabels

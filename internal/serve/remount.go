@@ -70,7 +70,7 @@ func validateLineage(cur, cand *store.Reader) error {
 func (s *Server) Remount(name, path string) (RemountResult, error) {
 	rd, err := store.Open(path)
 	if err != nil {
-		s.remountFailed(path, err)
+		s.remountFailed(name, path, remountFailOpen, err)
 		return RemountResult{}, fmt.Errorf("serve: open remount candidate: %w", err)
 	}
 	res, err := s.remountReader(name, rd)
@@ -87,7 +87,7 @@ func (s *Server) Remount(name, path string) (RemountResult, error) {
 func (s *Server) RemountAuto(path string) (RemountResult, error) {
 	rd, err := store.Open(path)
 	if err != nil {
-		s.remountFailed(path, err)
+		s.remountFailed("", path, remountFailOpen, err)
 		return RemountResult{}, fmt.Errorf("serve: open remount candidate: %w", err)
 	}
 	s.mu.RLock()
@@ -107,7 +107,7 @@ func (s *Server) RemountAuto(path string) (RemountResult, error) {
 	if name == "" {
 		rd.Close() //nolint:errcheck
 		err := fmt.Errorf("%w: %s matches no mounted lineage", ErrProvenance, path)
-		s.remountFailed(path, err)
+		s.remountFailed("", path, remountFailLineage, err)
 		return RemountResult{}, err
 	}
 	res, err := s.remountReader(name, rd)
@@ -139,13 +139,13 @@ func (s *Server) remountReader(name string, rd *store.Reader) (RemountResult, er
 	if ei < 0 {
 		s.mu.Unlock()
 		err := fmt.Errorf("%w: %q", ErrNoSuchStore, name)
-		s.remountFailed(rd.Path(), err)
+		s.remountFailed(name, rd.Path(), remountFailLineage, err)
 		return RemountResult{}, err
 	}
 	old := st.entries[ei].m.Reader
 	if err := validateLineage(old, rd); err != nil {
 		s.mu.Unlock()
-		s.remountFailed(rd.Path(), err)
+		s.remountFailed(name, rd.Path(), remountFailLineage, err)
 		return RemountResult{}, err
 	}
 	entries := make([]*mountEntry, len(st.entries))
@@ -168,6 +168,11 @@ func (s *Server) remountReader(name string, rd *store.Reader) (RemountResult, er
 		NewGeneration: rd.Meta().Generation,
 	}
 	err := old.Close()
+	if err != nil {
+		// The swap itself succeeded, but the remount operation still
+		// reports the close failure — an io-kind failure on this mount.
+		s.remountFailed(name, rd.Path(), remountFailIO, err)
+	}
 	res.SwapMillis = float64(time.Since(start).Microseconds()) / 1000
 	s.metrics.Counter("tnd_serve_remounts_total", "mount", name).Inc()
 	s.logger.Info("remount",
@@ -183,12 +188,28 @@ func (s *Server) remountReader(name string, rd *store.Reader) (RemountResult, er
 	return res, nil
 }
 
-// remountFailed records one rejected or failed remount attempt. The
-// counter is unlabeled: failures often happen before any mount name
-// is known (open errors, lineage mismatches).
-func (s *Server) remountFailed(path string, err error) {
-	s.metrics.Counter("tnd_serve_remount_failures_total").Inc()
-	s.logger.Warn("remount rejected", "path", path, "error", err.Error())
+// Failure kinds for tnd_serve_remount_failures_total: "open" (the
+// candidate file would not open as a store), "lineage" (provenance
+// rejected: no such mount, stale generation, or foreign lineage) and
+// "io" (the swap ran but an I/O step failed, e.g. closing the
+// replaced reader).
+const (
+	remountFailOpen    = "open"
+	remountFailLineage = "lineage"
+	remountFailIO      = "io"
+)
+
+// remountFailed records one rejected or failed remount attempt,
+// labeled by mount and failure kind so a fleet can tell which store
+// is failing to swap and why. mount may be empty when the failure
+// happens before any mount is matched (open errors, lineage-match
+// misses in RemountAuto) — those count under mount="unknown".
+func (s *Server) remountFailed(mount, path, kind string, err error) {
+	if mount == "" {
+		mount = "unknown"
+	}
+	s.metrics.Counter("tnd_serve_remount_failures_total", "mount", mount, "kind", kind).Inc()
+	s.logger.Warn("remount rejected", "mount", mount, "path", path, "kind", kind, "error", err.Error())
 }
 
 // handleRemount is the admin endpoint for hot swaps. Body:
@@ -226,6 +247,27 @@ func (s *Server) handleRemount(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// eligibleSpoolName reports whether a spool entry may be mounted: a
+// *.tnd file that is not a dotfile and carries no temp marker (".tmp"
+// or ".partial") anywhere in its name. Publishers (tndingest, rsync,
+// scp) stage uploads under dotted or .tmp/.partial names and
+// atomically rename them into place, so the watcher must never
+// consider those — a half-written temp file must not be half-mounted
+// even transiently, and the two-stable-polls rule alone cannot
+// guarantee that for a stalled copy.
+func eligibleSpoolName(name string) bool {
+	if strings.HasPrefix(name, ".") {
+		return false
+	}
+	if !strings.HasSuffix(name, ".tnd") {
+		return false
+	}
+	if strings.Contains(name, ".tmp") || strings.Contains(name, ".partial") {
+		return false
+	}
+	return true
+}
+
 // WatchSpool polls dir every interval for candidate store files and
 // hot-swaps any whose lineage validates against a mounted store
 // (RemountAuto). A file is considered only once its name, size and
@@ -261,7 +303,7 @@ func (s *Server) WatchSpool(ctx context.Context, dir string, interval time.Durat
 			continue
 		}
 		for _, ent := range ents {
-			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".tnd") {
+			if ent.IsDir() || !eligibleSpoolName(ent.Name()) {
 				continue
 			}
 			info, err := ent.Info()

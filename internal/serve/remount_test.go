@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -18,6 +20,7 @@ import (
 
 	"tnkd/internal/graph"
 	"tnkd/internal/iso"
+	"tnkd/internal/obs"
 	"tnkd/internal/pattern"
 	"tnkd/internal/store"
 )
@@ -457,5 +460,142 @@ func TestLocationPersistedMatchesLazyFallback(t *testing.T) {
 		if !bytes.Equal(b4, b3) {
 			t.Fatalf("label %q: persisted and lazy responses diverge:\npersisted: %s\nlazy: %s", label, b4, b3)
 		}
+	}
+}
+
+func TestEligibleSpoolName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"gen-000001.tnd":     true,
+		"run.v2.tnd":         true,
+		".hidden.tnd":        false, // dotfile
+		".gen-000002.tnd":    false,
+		"gen-000002.tnd.tmp": false, // write-to-temp staging name
+		"gen-000002.tmp.tnd": false,
+		"upload.tnd.partial": false,
+		"upload.partial.tnd": false,
+		"notes.txt":          false, // not a store file
+		"gen-000003":         false,
+	} {
+		if got := eligibleSpoolName(name); got != want {
+			t.Errorf("eligibleSpoolName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestWatchSpoolIgnoresTempNames drops valid next-generation store
+// bytes into the spool under dotfile/.tmp/.partial names — which a
+// publisher's staged, not-yet-renamed uploads look like — and proves
+// the watcher never mounts any of them, while the same bytes under a
+// clean name mount promptly.
+func TestWatchSpoolIgnoresTempNames(t *testing.T) {
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "spool")
+	if err := os.Mkdir(spool, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "gen0.tnd")
+	writeGenStore(t, base, 0, "")
+	srv, _ := mountGen(t, base)
+
+	// Every decoy is a fully valid generation-1 store: if the watcher
+	// ever considered one, the remount would succeed and the test fail.
+	for _, name := range []string{".hidden.tnd", "gen1.tnd.tmp", "gen1.tmp.tnd", "up.tnd.partial", "up.partial.tnd"} {
+		writeGenStore(t, filepath.Join(spool, name), 1, base)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.WatchSpool(ctx, spool, 5*time.Millisecond, t.Logf)
+	}()
+
+	// Give the watcher several polls over the decoys...
+	time.Sleep(60 * time.Millisecond)
+	if gen := currentGeneration(t, srv); gen != 0 {
+		t.Fatalf("a temp-named file was mounted: generation %d", gen)
+	}
+
+	// ...then publish properly: the same store under a clean name.
+	writeGenStore(t, filepath.Join(spool, "gen1.tnd"), 1, base)
+	deadline := time.Now().Add(5 * time.Second)
+	for currentGeneration(t, srv) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("clean-named store never mounted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}
+
+func currentGeneration(t *testing.T, srv *Server) int {
+	t.Helper()
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if srv.cur == nil || len(srv.cur.entries) == 0 {
+		t.Fatal("no mounts")
+	}
+	return srv.cur.entries[0].m.Reader.Meta().Generation
+}
+
+// TestRemountFailureLabels exercises each failure path and asserts
+// the failure counter is labeled by mount and kind, so a fleet can
+// tell which store is failing to swap and why.
+func TestRemountFailureLabels(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "gen0.tnd")
+	writeGenStore(t, base, 0, "")
+	r, err := store.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := New([]Mount{{Name: "lineage", Reader: r}}, Options{Metrics: reg})
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+
+	// open: the candidate is not a store file.
+	bad := filepath.Join(dir, "bad.tnd")
+	if err := os.WriteFile(bad, []byte("not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Remount("lineage", bad); err == nil {
+		t.Fatal("remount of a non-store succeeded")
+	}
+
+	// lineage, named mount: stale generation.
+	stale := filepath.Join(dir, "stale.tnd")
+	writeGenStore(t, stale, 0, base)
+	if _, err := srv.Remount("lineage", stale); !errors.Is(err, ErrProvenance) {
+		t.Fatalf("stale remount err = %v, want ErrProvenance", err)
+	}
+
+	// lineage, no mount known: no such store name.
+	gen1 := filepath.Join(dir, "gen1.tnd")
+	writeGenStore(t, gen1, 1, base)
+	if _, err := srv.Remount("nosuch", gen1); !errors.Is(err, ErrNoSuchStore) {
+		t.Fatalf("remount of unknown mount err = %v, want ErrNoSuchStore", err)
+	}
+
+	// open failure through RemountAuto: before a mount is matched.
+	if _, err := srv.RemountAuto(bad); err == nil {
+		t.Fatal("auto remount of a non-store succeeded")
+	}
+
+	want := map[string]int64{
+		`kind="open",mount="lineage"`:    1,
+		`kind="lineage",mount="lineage"`: 1,
+		`kind="lineage",mount="nosuch"`:  1,
+		`kind="open",mount="unknown"`:    1,
+	}
+	got := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		if s.Name == "tnd_serve_remount_failures_total" {
+			got[s.Labels] = s.Value
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("failure series = %v, want %v", got, want)
 	}
 }

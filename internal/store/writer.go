@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"sort"
 	"time"
 
+	"tnkd/internal/faultfs"
 	"tnkd/internal/graph"
 	"tnkd/internal/pattern"
 )
@@ -26,7 +29,8 @@ import (
 // checkpoint cadence the format wants.
 type Writer struct {
 	path    string
-	f       *os.File
+	fs      faultfs.FS
+	f       faultfs.File
 	bw      *bufio.Writer
 	off     uint64
 	meta    Meta
@@ -68,14 +72,23 @@ const (
 // writes the format header. The caller must finish with Close (or
 // Abort on failure paths).
 func Create(path string, meta Meta) (*Writer, error) {
-	f, err := os.Create(path)
+	return CreateFS(faultfs.OS{}, path, meta)
+}
+
+// CreateFS is Create on an explicit filesystem layer. The fault-
+// injection tests and the ingest daemon thread a faultfs.Injector
+// through here so every durability step of the writer — buffered
+// writes, footer flushes, the final sync — can be torn or killed at a
+// chosen operation.
+func CreateFS(fsys faultfs.FS, path string, meta Meta) (*Writer, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: create: %w", err)
 	}
 	if meta.CreatedUnix == 0 {
 		meta.CreatedUnix = time.Now().Unix()
 	}
-	w := &Writer{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16), meta: meta, layout: FormatVersion}
+	w := &Writer{path: path, fs: fsys, f: f, bw: bufio.NewWriterSize(f, 1<<16), meta: meta, layout: FormatVersion}
 	var hdr [headerSize]byte
 	copy(hdr[:], magic)
 	binary.LittleEndian.PutUint32(hdr[len(magic):], FormatVersion)
@@ -361,7 +374,7 @@ func (w *Writer) Abort() error {
 	}
 	w.state = writerAborted
 	w.f.Close()
-	if err := os.Remove(w.path); err != nil && !os.IsNotExist(err) {
+	if err := w.fs.Remove(w.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: abort %s: %w", w.path, err)
 	}
 	return nil
