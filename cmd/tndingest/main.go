@@ -67,6 +67,7 @@ func main() {
 	supportFraction := flag.Float64("support-fraction", 0, "recompute absolute support per fold as this fraction of the combined transaction count (0 = use -min-support or inherit the store's)")
 	minSupport := flag.Int("min-support", 0, "fixed absolute support threshold (0 = inherit from the current store)")
 	keep := flag.Int("keep", 3, "generations retained by GC (current plus keep-1 predecessors)")
+	checkpointEvery := flag.Int("checkpoint-every", 512, "journal records between checkpoints (compaction to the retained window's publish set)")
 	maxAttempts := flag.Int("max-attempts", 5, "fold attempts before a failing batch is quarantined to poison/")
 	poll := flag.Duration("poll", 500*time.Millisecond, "spool scan interval")
 	parallelism := flag.Int("parallelism", 0, "fold worker count (0 = all CPUs, 1 = serial)")
@@ -109,6 +110,7 @@ func main() {
 		SupportFraction: *supportFraction,
 		MinSupport:      *minSupport,
 		KeepGenerations: *keep,
+		CheckpointEvery: *checkpointEvery,
 		MaxAttempts:     *maxAttempts,
 		PollInterval:    *poll,
 		Parallelism:     *parallelism,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 )
@@ -37,7 +38,9 @@ func (d *Daemon) Handler() http.Handler {
 // handleIngest validates the batch and stages it into the spool via a
 // dotted temp name + rename, so the processing loop (and any other
 // spool consumer) never sees a half-written file. The fold itself is
-// asynchronous: 202, not 200.
+// asynchronous: 202, not 200. A client-supplied name that is already
+// waiting in the spool is a 409 — silently renaming over a pending
+// batch would discard it.
 func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
 	if err != nil {
@@ -57,20 +60,34 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "ingest: batch has no transactions")
 		return
 	}
+	d.mu.Lock()
+	d.postSeq++
+	seq := d.postSeq
+	d.mu.Unlock()
 	name := sanitizeBatchName(b.Name)
 	if name == "" {
-		d.mu.Lock()
-		d.postSeq++
-		name = fmt.Sprintf("b-%d-%04d.json", d.now().UnixNano(), d.postSeq)
-		d.mu.Unlock()
+		name = fmt.Sprintf("b-%d-%04d.json", d.now().UnixNano(), seq)
 	}
 	final := d.path(spoolDir, name)
-	tmp := d.path(spoolDir, "."+name+".tmp")
+	tmp := d.path(spoolDir, fmt.Sprintf(".%s.%d.tmp", name, seq))
 	if err := d.writeFileSync(tmp, data); err != nil {
 		httpError(w, http.StatusInternalServerError, "stage batch: %v", err)
 		return
 	}
-	if err := d.fs.Rename(tmp, final); err != nil {
+	// Commit under the lock so two same-named posts cannot both pass
+	// the existence check: a client-supplied name must never rename
+	// over a different batch still waiting in the spool.
+	d.mu.Lock()
+	if _, err := os.Stat(final); err == nil {
+		d.mu.Unlock()
+		d.fs.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		httpError(w, http.StatusConflict, "batch %q is already spooled; use a different name or omit it", name)
+		return
+	}
+	err = d.fs.Rename(tmp, final)
+	d.mu.Unlock()
+	if err != nil {
+		d.fs.Remove(tmp) //nolint:errcheck // best-effort cleanup
 		httpError(w, http.StatusInternalServerError, "spool batch: %v", err)
 		return
 	}

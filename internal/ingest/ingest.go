@@ -18,9 +18,10 @@
 // disk trouble) retry under exponential backoff with jitter;
 // undecodable batches and batches that keep failing are quarantined
 // to poison/ with a structured reason file, so one bad batch cannot
-// wedge the pipeline. A corrupt *prior* (fsg.ErrDeltaPrior) is a
-// daemon-level error: it is surfaced and retried but never charged
-// to the batch that happened to trigger it.
+// wedge the pipeline. A corrupt *prior* (fsg.ErrDeltaPrior) and
+// journal I/O trouble (errJournal) are daemon-level errors: they are
+// surfaced and retried but never charged to the batch that happened
+// to trigger them.
 package ingest
 
 import (
@@ -123,6 +124,13 @@ type Options struct {
 	JitterSeed int64
 	// PollInterval is Run's spool scan cadence (default 500ms).
 	PollInterval time.Duration
+	// CheckpointEvery is how many journal records may accumulate
+	// before the journal is compacted down to the retained window's
+	// publish records and applied/ is pruned alongside (default 512).
+	// Compaction bounds restart replay time and memory for a daemon
+	// that ingests forever; it also bounds the double-apply guard to
+	// the GC window (see maybeCheckpoint).
+	CheckpointEvery int
 
 	// Remount, when non-nil, is called with the absolute path of each
 	// newly published generation to trigger the serving hot-swap
@@ -203,6 +211,9 @@ func New(opts Options) (*Daemon, error) {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 500 * time.Millisecond
 	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 512
+	}
 	if opts.MaxEdges == 0 {
 		opts.MaxEdges = 8
 	}
@@ -257,6 +268,13 @@ func New(opts Options) (*Daemon, error) {
 	d.journal = j
 	if err := d.recover(recs); err != nil {
 		j.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	// Startup is the one moment every begin is provably resolved, so a
+	// history that outgrew the threshold is compacted right away —
+	// the restart already paid the full replay; the next one must not.
+	if err := d.maybeCheckpoint(); err != nil && errors.Is(err, faultfs.ErrCrashed) {
+		j.Close() //nolint:errcheck
 		return nil, err
 	}
 	if d.opts.Remount != nil {
@@ -315,19 +333,18 @@ func (d *Daemon) CurrentPath() string {
 // journaled intent against what actually reached the disk.
 func (d *Daemon) recover(recs []journalRecord) error {
 	// Double-apply guard: batches with a durable publish record.
-	type begun struct {
-		rec  journalRecord
-		open bool
-	}
-	dangling := map[string]*begun{} // key -> last unresolved begin
+	// publishedStores tracks the store files those records name — a
+	// begin resolution must never remove one of them.
+	dangling := map[string]journalRecord{} // key -> last unresolved begin
+	publishedStores := map[string]bool{}
 	for _, r := range recs {
 		key := r.Batch + "@" + r.SHA
 		switch r.Op {
 		case "begin":
-			rc := r
-			dangling[key] = &begun{rec: rc, open: true}
+			dangling[key] = r
 		case "publish":
 			d.published[key] = r.Gen
+			publishedStores[r.Store] = true
 			delete(dangling, key)
 		case "quarantine":
 			delete(dangling, key)
@@ -338,16 +355,17 @@ func (d *Daemon) recover(recs []journalRecord) error {
 		return err
 	}
 
-	// Resolve dangling begins in journal order (there is at most one
-	// in practice — processing is sequential).
+	// Resolve dangling begins in journal order. More than one can
+	// dangle at once (a transiently failing batch leaves its begin
+	// open while later batches proceed), which is why every resolution
+	// below is gated on the store file's own batch identity.
 	keys := make([]string, 0, len(dangling))
 	for k := range dangling {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return dangling[keys[i]].rec.Unix < dangling[keys[j]].rec.Unix })
+	sort.Slice(keys, func(i, j int) bool { return dangling[keys[i]].Unix < dangling[keys[j]].Unix })
 	for _, k := range keys {
-		b := dangling[k].rec
-		if err := d.resolveBegin(b); err != nil {
+		if err := d.resolveBegin(dangling[k], publishedStores); err != nil {
 			return err
 		}
 	}
@@ -507,24 +525,47 @@ func (d *Daemon) writeCurrent(storeName string) error {
 	return nil
 }
 
+// beginOwnsStore reports whether meta proves the store file was
+// written by exactly the batch the begin record names. Publication is
+// only ever completed on a match: generation numbers repeat across
+// batches (every in-flight fold targets curGen+1), so name and
+// generation alone cannot identify who wrote a file.
+func beginOwnsStore(m store.Meta, b journalRecord) bool {
+	return m.SourceBatch == b.Batch && m.SourceSHA == b.SHA
+}
+
 // resolveBegin decides what a dangling begin record means against the
-// disk: completed-but-unrecorded publications are finished
-// idempotently, everything else is rolled back so the batch re-folds
-// from the spool.
-func (d *Daemon) resolveBegin(b journalRecord) error {
+// disk: a durable store file carrying this begin's own batch identity
+// (Meta.SourceBatch/SourceSHA) is finished idempotently; everything
+// else leaves the batch in the spool to re-fold. Rollback is
+// deliberately timid — a gen file referenced by CURRENT or by any
+// publish record is live data and is never removed, even when a
+// failed batch's begin happens to name it.
+func (d *Daemon) resolveBegin(b journalRecord, publishedStores map[string]bool) error {
 	final := d.path(storeDir, b.Store)
 	if b.Store == genName(d.curGen) && d.curPath == final {
-		// Crash landed between the CURRENT rename and the publish
-		// record: the publication committed. Record and archive.
-		return d.completePublication(b)
+		if beginOwnsStore(d.reader.Meta(), b) {
+			// Crash landed between the CURRENT rename and the publish
+			// record: the publication committed. Record and archive.
+			return d.completePublication(b)
+		}
+		// The current generation was published by a *different* batch
+		// that reused this begin's target name (this begin's fold
+		// failed transiently before the crash). The batch is unfolded:
+		// leave it in the spool and touch nothing.
+		d.logger.Info("ingest: dangling intent superseded by another batch, will re-fold",
+			"store", b.Store, "batch", b.Batch)
+		return nil
 	}
 	if b.Gen == d.curGen+1 {
 		if r, err := store.Open(final); err == nil {
 			// The fold finished and the store file is durable, but the
 			// crash hit before CURRENT advanced. The file was fsynced
 			// before its rename, so an openable file here is complete:
-			// finish the publication rather than redo the fold.
-			if m := r.Meta(); m.Generation == b.Gen && filepath.Base(m.Parent) == genName(d.curGen) {
+			// finish the publication rather than redo the fold — but
+			// only if this begin's batch is the one that wrote it.
+			m := r.Meta()
+			if m.Generation == b.Gen && filepath.Base(m.Parent) == genName(d.curGen) && beginOwnsStore(m, b) {
 				if err := d.writeCurrent(b.Store); err != nil {
 					r.Close() //nolint:errcheck
 					return err
@@ -535,14 +576,33 @@ func (d *Daemon) resolveBegin(b journalRecord) error {
 				return d.completePublication(b)
 			}
 			r.Close() //nolint:errcheck
+			if !beginOwnsStore(m, b) {
+				// Another in-flight batch's durable fold — its own begin
+				// record resolves it. Hands off.
+				return nil
+			}
 		}
 	}
-	// The fold never became durable (or targets a stale generation):
-	// roll it back. The batch is still in the spool and re-folds.
-	if err := d.fs.Remove(final); err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return fmt.Errorf("ingest: roll back %s: %w", b.Store, err)
+	// The fold never committed. Remove the stray file only when it is
+	// provably not live data: ahead of the committed chain, unnamed by
+	// any publish record, and either unopenable or carrying this
+	// begin's own batch identity. Anything else stays on disk — a
+	// re-fold renames over it, and GC handles aged-out generations.
+	if b.Gen > d.curGen && !publishedStores[b.Store] && b.Store != genName(d.curGen) {
+		remove := true
+		if r, err := store.Open(final); err == nil {
+			remove = beginOwnsStore(r.Meta(), b)
+			r.Close() //nolint:errcheck
+		}
+		if remove {
+			if err := d.fs.Remove(final); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("ingest: roll back %s: %w", b.Store, err)
+			}
+			d.logger.Info("ingest: rolled back interrupted fold", "store", b.Store, "batch", b.Batch)
+			return nil
+		}
 	}
-	d.logger.Info("ingest: rolled back interrupted fold", "store", b.Store, "batch", b.Batch)
+	d.logger.Info("ingest: dangling intent left unresolved, batch will re-fold", "store", b.Store, "batch", b.Batch)
 	return nil
 }
 
@@ -642,6 +702,10 @@ func (d *Daemon) processSpool() error {
 		if _, done := d.published[key]; done {
 			// Already folded in a previous life (the crash hit after
 			// publish but before archive): archive without reapplying.
+			// Any backoff state is stale — nothing is retried for a
+			// published batch, and a lingering entry would block
+			// journal checkpointing forever.
+			delete(d.attempts, key)
 			if err := d.fs.Rename(d.path(spoolDir, name), d.path(appliedDir, name)); err != nil {
 				if errors.Is(err, faultfs.ErrCrashed) {
 					return err
@@ -667,6 +731,14 @@ func (d *Daemon) processSpool() error {
 			d.mFoldFailures.Inc()
 			d.setLastErr(err)
 			d.logger.Error("ingest: current store cannot seed delta folds", "error", err.Error())
+			return nil
+		case errors.Is(err, errJournal):
+			// Journal trouble (disk pressure on the journal file) is
+			// likewise the daemon's fault, never the batch's: retry the
+			// whole pass next tick without touching its attempt count.
+			d.mFoldFailures.Inc()
+			d.setLastErr(err)
+			d.logger.Error("ingest: journal unavailable, retrying next tick", "batch", name, "error", err.Error())
 			return nil
 		default:
 			d.mFoldFailures.Inc()
@@ -741,12 +813,14 @@ func (d *Daemon) applyBatch(name, key, sha string, data []byte) error {
 
 	tmp := d.path(storeDir, storeName+".tmp")
 	w, err := store.CreateFS(d.fs, tmp, store.Meta{
-		Name:       m.Name,
-		Kind:       m.Kind,
-		MinSupport: support,
-		Parent:     d.curPath,
-		Generation: gen,
-		Note:       fmt.Sprintf("ingest fold of batch %s (+%d transactions)", name, len(txns)),
+		Name:        m.Name,
+		Kind:        m.Kind,
+		MinSupport:  support,
+		Parent:      d.curPath,
+		Generation:  gen,
+		SourceBatch: name,
+		SourceSHA:   sha,
+		Note:        fmt.Sprintf("ingest fold of batch %s (+%d transactions)", name, len(txns)),
 	})
 	if err != nil {
 		return err
@@ -887,7 +961,10 @@ func (d *Daemon) tryRemount() error {
 	return nil
 }
 
-// gc removes generations older than the KeepGenerations window.
+// gc removes generations older than the KeepGenerations window, then
+// checkpoints the journal when it has grown past the threshold. Every
+// non-crash error here is transient daemon trouble: surfaced, the
+// pass abandoned, retried next tick — GC must never kill the daemon.
 func (d *Daemon) gc() error {
 	names, err := d.genFiles()
 	if err != nil {
@@ -902,7 +979,12 @@ func (d *Daemon) gc() error {
 			continue
 		}
 		if err := d.journal.append(journalRecord{Op: "gc", Store: name, Unix: d.now().Unix()}); err != nil {
-			return err
+			if errors.Is(err, faultfs.ErrCrashed) {
+				return err
+			}
+			d.setLastErr(err)
+			d.logger.Warn("ingest: gc journal append failed, retrying next tick", "store", name, "error", err.Error())
+			return nil
 		}
 		if err := d.fs.Remove(d.path(storeDir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			if errors.Is(err, faultfs.ErrCrashed) {
@@ -914,6 +996,90 @@ func (d *Daemon) gc() error {
 		d.mGC.Inc()
 		d.logger.Info("ingest: removed old generation", "store", name)
 	}
+	return d.maybeCheckpoint()
+}
+
+// maybeCheckpoint compacts the journal down to the publish records of
+// the retained generation window once it has grown past
+// CheckpointEvery records, and prunes applied/ to the batches those
+// records name. Without this the journal, the in-memory publish map
+// and applied/ all grow with all-time batch count, and every restart
+// replays the full history. Compaction only runs when no batch is
+// mid-retry: a retrying batch has a dangling begin in the journal,
+// and dropping it would orphan the rollback state a crash right now
+// would need.
+//
+// Dropping a publish record also drops its double-apply guard, so the
+// guard window equals the GC window: re-spooling a batch whose
+// generation aged out re-folds it as new data (documented semantics —
+// applied/ is pruned in the same step precisely so an operator cannot
+// find an "already applied" copy of a batch the daemon no longer
+// remembers).
+func (d *Daemon) maybeCheckpoint() error {
+	if d.journal.count < d.opts.CheckpointEvery || len(d.attempts) != 0 {
+		return nil
+	}
+	cut := d.curGen - d.opts.KeepGenerations + 1
+	type pub struct {
+		key string
+		gen int
+	}
+	var keep []pub
+	drop := map[string]bool{} // batch names whose publish records age out
+	for key, gen := range d.published {
+		name := key
+		if i := strings.LastIndex(key, "@"); i >= 0 {
+			name = key[:i]
+		}
+		if gen >= cut {
+			keep = append(keep, pub{key: key, gen: gen})
+			delete(drop, name)
+			continue
+		}
+		drop[name] = true
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].gen < keep[j].gen })
+	recs := make([]journalRecord, 0, len(keep))
+	retained := map[string]bool{}
+	for _, p := range keep {
+		name, sha := p.key, ""
+		if i := strings.LastIndex(p.key, "@"); i >= 0 {
+			name, sha = p.key[:i], p.key[i+1:]
+		}
+		retained[name] = true
+		recs = append(recs, journalRecord{Op: "publish", Batch: name, SHA: sha, Gen: p.gen, Store: genName(p.gen), Unix: d.now().Unix()})
+	}
+	if err := d.journal.rewrite(recs); err != nil {
+		if errors.Is(err, faultfs.ErrCrashed) {
+			return err
+		}
+		d.setLastErr(err)
+		d.logger.Warn("ingest: journal checkpoint failed, retrying next tick", "error", err.Error())
+		return nil
+	}
+	// The compacted journal is durable: shed the aged-out state. The
+	// applied/ sweep is self-healing — it removes anything the
+	// retained publish set no longer names, so a crash mid-sweep just
+	// leaves files the next checkpoint removes.
+	for key, gen := range d.published {
+		if gen < cut {
+			delete(d.published, key)
+		}
+	}
+	if ents, err := os.ReadDir(d.path(appliedDir)); err == nil {
+		for _, e := range ents {
+			if e.IsDir() || retained[e.Name()] {
+				continue
+			}
+			if err := d.fs.Remove(d.path(appliedDir, e.Name())); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				if errors.Is(err, faultfs.ErrCrashed) {
+					return err
+				}
+				d.setLastErr(err)
+			}
+		}
+	}
+	d.logger.Info("ingest: checkpointed journal", "records", len(recs), "pruned", len(drop))
 	return nil
 }
 

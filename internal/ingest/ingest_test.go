@@ -522,6 +522,69 @@ func TestHTTPIngestAndStatus(t *testing.T) {
 	}
 }
 
+// TestHTTPIngestNameConflict: a client-supplied name that is already
+// waiting in the spool must be rejected with 409, never renamed over
+// — that would silently discard the pending batch.
+func TestHTTPIngestNameConflict(t *testing.T) {
+	d, opts := newTestDaemon(t, nil)
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	first, err := EncodeBatch("dup", testTxns(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", resp.StatusCode)
+	}
+
+	second, err := EncodeBatch("dup", testTxns(6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting POST = %d, want 409", resp2.StatusCode)
+	}
+	got, err := os.ReadFile(filepath.Join(opts.Dir, spoolDir, "dup.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, first) {
+		t.Error("conflicting POST overwrote the pending batch")
+	}
+	// No temp staging files may linger after the rejection.
+	ents, err := os.ReadDir(filepath.Join(opts.Dir, spoolDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "dup.json" {
+			t.Errorf("leftover spool entry %q after 409", e.Name())
+		}
+	}
+
+	// Once the batch is folded and archived the name is free again.
+	drain(t, d, nil)
+	resp3, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST after fold = %d, want 202", resp3.StatusCode)
+	}
+}
+
 func getJSON(t testing.TB, url string, v any) {
 	t.Helper()
 	resp, err := http.Get(url)

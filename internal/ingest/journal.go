@@ -9,6 +9,7 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 
 	"tnkd/internal/faultfs"
 )
@@ -27,10 +28,16 @@ import (
 //
 // Replay rebuilds the applied-batch set (publish records are the
 // double-apply guard) and resolves dangling begins: a begin whose
-// store file is durable and whose CURRENT pointer already advanced is
-// completed idempotently; anything else is rolled back by deleting
-// the partial store file and letting the batch re-fold from the
-// spool.
+// store file is durable — and whose Meta.SourceBatch/SourceSHA prove
+// it was written by *that* begin's batch, not a same-named generation
+// from a different batch — is completed idempotently; anything else
+// is left for the batch to re-fold from the spool, and a store file
+// referenced by CURRENT or by any publish record is never removed.
+//
+// The journal is periodically checkpointed (rewrite, see the daemon's
+// maybeCheckpoint): compacted via write-temp + rename down to the
+// publish records of the retained generation window, which bounds
+// replay time and memory for a long-lived daemon.
 type journalRecord struct {
 	Op     string `json:"op"`
 	Batch  string `json:"batch,omitempty"`
@@ -41,10 +48,19 @@ type journalRecord struct {
 	Unix   int64  `json:"unix,omitempty"`
 }
 
+// errJournal marks journal I/O trouble. It is a daemon-level fault —
+// the journal file has nothing to do with any particular batch — so
+// the processing loop surfaces it and retries next tick instead of
+// charging it to a batch's quarantine counter.
+var errJournal = errors.New("ingest: journal unavailable")
+
 type journal struct {
 	fs   faultfs.FS
 	path string
-	f    faultfs.File
+	f    faultfs.File // nil after a failed rewrite; append reopens lazily
+	// count is the number of durable records (replayed + appended
+	// since); the daemon checkpoints when it crosses a threshold.
+	count int
 }
 
 // openJournal replays path (tolerating a torn tail, which it
@@ -63,7 +79,7 @@ func openJournal(fsys faultfs.FS, path string) (*journal, []journalRecord, error
 	if err != nil {
 		return nil, nil, fmt.Errorf("ingest: open journal: %w", err)
 	}
-	return &journal{fs: fsys, path: path, f: f}, recs, nil
+	return &journal{fs: fsys, path: path, f: f, count: len(recs)}, recs, nil
 }
 
 // replayJournal parses every intact record and returns them plus the
@@ -115,22 +131,84 @@ func parseJournalLine(line []byte) (journalRecord, bool) {
 }
 
 // append writes one record and fsyncs it — the durability point every
-// processing step pivots on.
+// processing step pivots on. All failures carry errJournal so the
+// daemon classifies them as its own trouble, not the batch's.
 func (j *journal) append(rec journalRecord) error {
+	if j.f == nil {
+		f, err := j.fs.Append(j.path)
+		if err != nil {
+			return fmt.Errorf("%w: reopen: %w", errJournal, err)
+		}
+		j.f = f
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("ingest: journal marshal: %w", err)
+		return fmt.Errorf("%w: marshal: %w", errJournal, err)
 	}
 	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
 	if _, err := io.WriteString(j.f, line); err != nil {
-		return fmt.Errorf("ingest: journal append: %w", err)
+		return fmt.Errorf("%w: append: %w", errJournal, err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("ingest: journal sync: %w", err)
+		return fmt.Errorf("%w: sync: %w", errJournal, err)
 	}
+	j.count++
+	return nil
+}
+
+// rewrite atomically replaces the journal with exactly recs — the
+// checkpoint/compaction step. The old journal stays intact until the
+// rename, so a crash anywhere leaves either the full history or the
+// compacted one, never a mix. The append handle is closed before the
+// rename (a handle to the replaced inode would silently drop every
+// later record) and reopened lazily if reopening here fails.
+func (j *journal) rewrite(recs []journalRecord) error {
+	tmp := j.path + ".tmp"
+	f, err := j.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("%w: checkpoint create: %w", errJournal, err)
+	}
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			f.Close() //nolint:errcheck
+			return fmt.Errorf("%w: checkpoint marshal: %w", errJournal, err)
+		}
+		if _, err := fmt.Fprintf(f, "%08x %s\n", crc32.ChecksumIEEE(payload), payload); err != nil {
+			f.Close() //nolint:errcheck
+			return fmt.Errorf("%w: checkpoint write: %w", errJournal, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck
+		return fmt.Errorf("%w: checkpoint sync: %w", errJournal, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%w: checkpoint close: %w", errJournal, err)
+	}
+	if j.f != nil {
+		j.f.Close() //nolint:errcheck // about to replace the file under it
+		j.f = nil
+	}
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("%w: checkpoint rename: %w", errJournal, err)
+	}
+	if err := j.fs.SyncDir(filepath.Dir(j.path)); err != nil {
+		return fmt.Errorf("%w: checkpoint dir sync: %w", errJournal, err)
+	}
+	j.count = len(recs)
+	nf, err := j.fs.Append(j.path)
+	if err != nil {
+		// The compacted journal is durable; the next append reopens.
+		return fmt.Errorf("%w: checkpoint reopen: %w", errJournal, err)
+	}
+	j.f = nf
 	return nil
 }
 
 func (j *journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
 	return j.f.Close()
 }

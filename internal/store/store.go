@@ -132,6 +132,15 @@ type Meta struct {
 	// generation + 1 for each fold.
 	Generation int `json:"generation,omitempty"`
 
+	// SourceBatch/SourceSHA identify the ingest batch whose fold
+	// produced this store (empty outside the ingest daemon). Ingest
+	// recovery matches them against a journaled fold intent, so a
+	// dangling intent can only ever complete against the store file
+	// its own batch wrote — never against a same-named generation
+	// published by a different batch.
+	SourceBatch string `json:"source_batch,omitempty"`
+	SourceSHA   string `json:"source_sha,omitempty"`
+
 	// Algorithm 1 provenance (Kind "structural" only): the exact
 	// partitioning parameters of the run, which a structural delta
 	// (appending repetitions) must reproduce to keep the shared RNG
