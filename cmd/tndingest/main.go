@@ -11,13 +11,24 @@
 //	tndingest -dir data [-seed base.tnd] [-addr :8322]
 //	          [-remount http://localhost:8321/v1/admin/remount]
 //	          [-support-fraction 0.05 | -min-support N]
-//	          [-keep 3] [-max-attempts 5] [-poll 500ms]
+//	          [-window N] [-keep 3] [-max-attempts 5] [-poll 500ms]
 //
 // The daemon is restart-idempotent at every step: kill -9 it at any
 // point and the restart resumes from the journal — generation N keeps
 // serving, no batch is lost or folded twice, and the fold chain stays
 // byte-identical to an uninterrupted run (see the ingest-crash-matrix
 // CI job).
+//
+// -window N turns the daemon from append-only into a true sliding
+// window over the last N ingest units (batches; an adopted seed store
+// counts as one unit): each fold retires the units that fall off the
+// front — subtracting their TIDs from every pattern column and
+// renumbering the survivors — before folding the new batch in, so
+// every published generation is byte-identical to a fresh mine of
+// exactly the window's transactions. Retirement publishes go through
+// the same journal protocol as append folds, so the crash guarantees
+// above hold unchanged; `/v1/ingest/status` reports the served
+// window's bounds, unit count and last retired-transaction count.
 //
 // Batch-stream generator mode (for replaying the Section 6 temporal
 // data as an arrival stream):
@@ -66,6 +77,7 @@ func main() {
 	remountURL := flag.String("remount", "", "tndserve remount endpoint to POST each published generation to (e.g. http://localhost:8321/v1/admin/remount)")
 	supportFraction := flag.Float64("support-fraction", 0, "recompute absolute support per fold as this fraction of the combined transaction count (0 = use -min-support or inherit the store's)")
 	minSupport := flag.Int("min-support", 0, "fixed absolute support threshold (0 = inherit from the current store)")
+	window := flag.Int("window", 0, "slide a window of the most recent N ingest units (batches; a seed store is one unit): older units retire on every fold, each generation byte-identical to a fresh mine of the window (0 = append-only)")
 	keep := flag.Int("keep", 3, "generations retained by GC (current plus keep-1 predecessors)")
 	checkpointEvery := flag.Int("checkpoint-every", 512, "journal records between checkpoints (compaction to the retained window's publish set)")
 	maxAttempts := flag.Int("max-attempts", 5, "fold attempts before a failing batch is quarantined to poison/")
@@ -109,6 +121,7 @@ func main() {
 		Seed:            *seed,
 		SupportFraction: *supportFraction,
 		MinSupport:      *minSupport,
+		Window:          *window,
 		KeepGenerations: *keep,
 		CheckpointEvery: *checkpointEvery,
 		MaxAttempts:     *maxAttempts,

@@ -10,6 +10,14 @@
 //	tndstats [-in file.csv | -scale 0.1]
 //	tndstats -store out.tnd [-recover] [-patterns | -json]
 //
+// -store reports provenance alongside the level tables: the delta
+// chain (generation, parent path), the sliding-window bounds when the
+// store was produced by a windowed run (`window: units=START..END
+// retired=N`, plus the per-unit sizes an ingest daemon records), the
+// Algorithm 1 partitioning parameters for structural stores, and the
+// TID-column encoding split (list vs bitset columns, array vs bitmap
+// containers, on-disk bytes).
+//
 // -recover salvages a store whose writing run died mid-level by
 // reading the last intact checkpoint footer.
 //

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tndtemporal [-scale 0.05] [-mine] [-blowup] [-parallelism N] [-maxembeddings N] [-days N] [-store out.tnd] [-delta-from prev.tnd]
+//	tndtemporal [-scale 0.05] [-mine] [-blowup] [-parallelism N] [-maxembeddings N] [-days N] [-window N] [-store out.tnd] [-delta-from prev.tnd]
 //
 // -store persists the Figure 4 mine (patterns, TID lists, embeddings
 // and the per-day transactions) to an internal/store file that
@@ -18,6 +18,16 @@
 // N calendar days, which is how a delta sequence is simulated from a
 // fixed dataset: mine -days K -store a.tnd, then -days K+1
 // -delta-from a.tnd -store b.tnd.
+//
+// -window N mines only the most recent N calendar days (a sliding
+// window; support is computed over the window's transactions).
+// Combined with -delta-from, the run *slides* the stored window
+// instead of re-mining it: days that fell off the front are retired
+// (their TIDs subtracted from every pattern column) and the newly
+// arrived days are folded in, producing a store byte-identical to a
+// fresh -window mine of the same days — `tndstats -patterns` diffs
+// empty. The window only moves forward: widening it, or dropping
+// -window against a windowed store, requires a fresh mine.
 //
 // -progress streams one line to stderr per mined level as the level
 // completes (candidates, frequent, embeddings, reuse/promotion
@@ -63,6 +73,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "mining worker count (0 = all CPUs, 1 = serial)")
 	maxEmbeddings := flag.Int("maxembeddings", 0, "per-level FSG embedding budget (0 = default, -1 = unlimited); over budget the incremental support counter falls back to full isomorphism")
 	days := flag.Int("days", 0, "limit the run to the earliest N calendar days (0 = all); a -days K run's transactions are an exact prefix of the -days K+1 run's")
+	window := flag.Int("window", 0, "mine only the most recent N calendar days (0 = all); with -delta-from, slides the stored window forward (retire + fold), byte-identical to a fresh -window mine")
 	storePath := flag.String("store", "", "persist the Figure 4 mine (patterns + embeddings + per-day transactions) to this store file (serve with tndserve)")
 	deltaFrom := flag.String("delta-from", "", "fold the newly arrived days into this previously mined store instead of re-mining from scratch (output identical to a full re-mine)")
 	progress := flag.Bool("progress", false, "stream one line per mined level to stderr while mining (stdout stays byte-identical)")
@@ -85,6 +96,7 @@ func main() {
 	p.Parallelism = *parallelism
 	p.MaxEmbeddings = *maxEmbeddings
 	p.Days = *days
+	p.Window = *window
 	p.StorePath = *storePath
 	p.DeltaFrom = *deltaFrom
 	if *progress {

@@ -495,6 +495,19 @@ type TemporalMineOptions struct {
 	// may sit above the parent run's — stored patterns that no longer
 	// qualify drop out exactly as a re-mine would drop them.
 	DeltaFrom string
+	// Window, when > 0, mines only the most recent Window days of the
+	// partition (1-based days winStart..winEnd, recorded in the store
+	// as Meta.WindowStart/WindowEnd): the sliding-window regime of the
+	// temporal pipeline. The absolute support threshold is computed
+	// over the window's transactions only. Combined with DeltaFrom the
+	// run becomes a window *slide* — fsg.AdvanceWindow retires the
+	// days that fell off the front of the parent store and folds the
+	// newly arrived days in, producing a store byte-identical to a
+	// fresh -window mine of the same days. The window only moves
+	// forward: a slide that would need days the parent already retired
+	// (a widened window, or Window=0 against a windowed parent) fails
+	// and must be re-mined from scratch. 0 mines every day.
+	Window int
 	// Progress is handed to the miner (fsg.Options.Progress): one
 	// event per completed Apriori level, emitted while the mine runs.
 	Progress func(fsg.LevelProgress)
@@ -523,6 +536,14 @@ type TemporalMineResult struct {
 	Stats     graph.TransactionStats
 	Support   int // absolute support used
 	Mining    *fsg.Result
+	// WindowStart/WindowEnd are the 1-based day bounds actually mined:
+	// 1..len(Partition.DayStarts) for a full run, the trailing
+	// Options.Window days for a windowed one.
+	WindowStart, WindowEnd int
+	// Mined is the number of transactions inside the window — the
+	// population Support was computed over (every partition
+	// transaction for a full run).
+	Mined int
 }
 
 // MineTemporal partitions by day and mines the repeated routes.
@@ -535,7 +556,14 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 	}
 	part := partition.Temporal(d, opts.Partition)
 	stats := part.Stats()
-	support := fsg.MinSupportFraction(len(part.Transactions), opts.SupportFraction)
+	nDays := len(part.DayStarts)
+	winStart, winEnd := 1, nDays
+	if opts.Window > 0 && nDays > opts.Window {
+		winStart = nDays - opts.Window + 1
+	}
+	lo, _ := part.WindowRange(winStart, winEnd)
+	windowTxns := part.Transactions[lo:]
+	support := fsg.MinSupportFraction(len(windowTxns), opts.SupportFraction)
 	fsgOpts := fsg.Options{
 		MinSupport:    support,
 		MaxEdges:      opts.MaxEdges,
@@ -547,9 +575,12 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 		Logger:        opts.Logger,
 	}
 
-	// Delta mode: rehydrate the parent run and mine only the appended
-	// tail of the partition through it.
+	// Delta mode: rehydrate the parent run, retire the days that slid
+	// out of the window, and mine only the appended tail through it.
 	var prior *fsg.Prior
+	var added []*graph.Graph
+	var retired pattern.TIDSet
+	retireCount := 0
 	generation := 0
 	if opts.DeltaFrom != "" {
 		if err := distinctPaths(opts.DeltaFrom, opts.StorePath); err != nil {
@@ -564,37 +595,72 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 			return nil, err
 		}
 		m := r.Meta()
-		if err := r.VerifyPrefix(part.Transactions); err != nil {
+		// The parent covers days priorStart..(wherever its transaction
+		// count ends); its slice of this partition must match
+		// byte-for-byte. Pre-window stores read back WindowStart 0 and
+		// anchor at day 1.
+		priorStart := m.WindowStart
+		if priorStart == 0 {
+			priorStart = 1
+		}
+		if priorStart > nDays {
+			return nil, fmt.Errorf("core: delta source starts at day %d but the partition has only %d days (different dataset, scale or partition options?)", priorStart, nDays)
+		}
+		priorLo, _ := part.WindowRange(priorStart, nDays)
+		if err := r.VerifyPrefix(part.Transactions[priorLo:]); err != nil {
 			return nil, fmt.Errorf("core: delta source mismatch (different dataset, scale or partition options?): %w", err)
+		}
+		if lo < priorLo {
+			return nil, fmt.Errorf("core: window start day %d precedes the delta source's day %d — retired days cannot re-enter the window; re-mine without -delta-from", winStart, priorStart)
 		}
 		levels, err := r.AllLevelPatterns()
 		if err != nil {
 			return nil, err
 		}
+		priorHi := priorLo + r.NumTransactions()
 		prior = &fsg.Prior{
-			Txns:       part.Transactions[:r.NumTransactions()],
+			Txns:       part.Transactions[priorLo:priorHi],
 			Levels:     levels,
 			MinSupport: m.MinSupport,
 			Generation: m.Generation,
 		}
+		retireCount = lo - priorLo
+		if retireCount > len(prior.Txns) {
+			// The window starts past the parent's end: everything the
+			// parent held retires, and the in-between days never enter.
+			retireCount = len(prior.Txns)
+		}
+		for i := 0; i < retireCount; i++ {
+			retired.Add(i)
+		}
+		addedLo := priorHi
+		if lo > addedLo {
+			addedLo = lo
+		}
+		added = part.Transactions[addedLo:]
 		generation = m.Generation + 1
 	}
 
 	var w *store.Writer
 	if opts.StorePath != "" {
-		var err error
-		w, err = store.Create(opts.StorePath, store.Meta{
+		meta := store.Meta{
 			Name:       "OD/daily",
 			Kind:       "temporal",
 			MinSupport: support,
 			Parent:     opts.DeltaFrom,
 			Generation: generation,
-			Note:       fmt.Sprintf("Section 6 per-day transactions (%d days)", len(part.Transactions)),
-		})
+			Note:       fmt.Sprintf("Section 6 per-day transactions (%d days)", nDays),
+		}
+		if opts.Window > 0 && nDays > 0 {
+			meta.WindowStart, meta.WindowEnd, meta.Retired = winStart, winEnd, retireCount
+			meta.Note = fmt.Sprintf("Section 6 per-day transactions (window days %d..%d of %d)", winStart, winEnd, nDays)
+		}
+		var err error
+		w, err = store.Create(opts.StorePath, meta)
 		if err != nil {
 			return nil, err
 		}
-		if err := w.WriteTransactions(part.Transactions); err != nil {
+		if err := w.WriteTransactions(windowTxns); err != nil {
 			w.Abort()
 			return nil, err
 		}
@@ -605,9 +671,9 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 	var mined *fsg.Result
 	var err error
 	if prior != nil {
-		mined, err = fsg.MineDelta(*prior, part.Transactions[len(prior.Txns):], fsgOpts)
+		mined, err = fsg.AdvanceWindow(*prior, added, retired, fsgOpts)
 	} else {
-		mined, err = fsg.Mine(part.Transactions, fsgOpts)
+		mined, err = fsg.Mine(windowTxns, fsgOpts)
 	}
 	if err != nil {
 		if w != nil {
@@ -621,10 +687,13 @@ func MineTemporal(d *dataset.Dataset, opts TemporalMineOptions) (*TemporalMineRe
 		}
 	}
 	return &TemporalMineResult{
-		Partition: part,
-		Stats:     stats,
-		Support:   support,
-		Mining:    mined,
+		Partition:   part,
+		Stats:       stats,
+		Support:     support,
+		Mining:      mined,
+		WindowStart: winStart,
+		WindowEnd:   winEnd,
+		Mined:       len(windowTxns),
 	}, nil
 }
 

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tnkd/internal/partition"
+	"tnkd/internal/store"
+)
+
+// windowFixture picks day counts for a two-slide schedule over the
+// small dataset: a base run at baseDays, a slide to midDays, a second
+// slide to every day — each with a window small enough that days
+// actually retire at every step.
+func windowFixture(t *testing.T) (days, window, baseDays, midDays int) {
+	t.Helper()
+	d := smallData(t)
+	part := partition.Temporal(d, temporalOpts().Partition)
+	days = len(part.DayStarts)
+	if days < 60 {
+		t.Fatalf("fixture has only %d days; window test needs at least 60", days)
+	}
+	// The fixture has many empty calendar days, so slide in 15-day
+	// steps — wide enough that every slide retires real transactions.
+	window = days / 2
+	baseDays = days - 30
+	midDays = days - 15
+	return days, window, baseDays, midDays
+}
+
+// TestMineTemporalWindowSlideMatchesFreshMine is the windowed twin of
+// the temporal delta test: a chained slide (base window → +2 days →
+// +2 days, each retiring the days that fell off the front) must
+// produce, at every step, a store byte-identical to a fresh -window
+// mine of the same days, with window provenance recorded and real
+// retirement happening.
+func TestMineTemporalWindowSlideMatchesFreshMine(t *testing.T) {
+	d := smallData(t)
+	dir := t.TempDir()
+	days, window, baseDays, midDays := windowFixture(t)
+
+	mine := func(maxDays int, deltaFrom, storePath string) *TemporalMineResult {
+		t.Helper()
+		opts := temporalOpts()
+		opts.Partition.MaxDays = maxDays
+		opts.Window = window
+		opts.DeltaFrom = deltaFrom
+		opts.StorePath = storePath
+		res, err := MineTemporal(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := mine(baseDays, "", filepath.Join(dir, "base.tnd"))
+	if base.Mined == len(base.Partition.Transactions) {
+		t.Fatal("window did not shrink the base mine; fixture too small")
+	}
+
+	prev := filepath.Join(dir, "base.tnd")
+	for i, maxDays := range []int{midDays, days} {
+		slidePath := filepath.Join(dir, "slide"+string(rune('0'+i))+".tnd")
+		freshPath := filepath.Join(dir, "fresh"+string(rune('0'+i))+".tnd")
+		slide := mine(maxDays, prev, slidePath)
+		fresh := mine(maxDays, "", freshPath)
+
+		if got, want := renderFSG(slide.Mining), renderFSG(fresh.Mining); got != want {
+			t.Fatalf("slide %d mining diverged from fresh window mine\n--- fresh ---\n%s--- slide ---\n%s", i, want, got)
+		}
+		if slide.Support != fresh.Support || slide.Mined != fresh.Mined {
+			t.Fatalf("slide %d support/mined %d/%d vs fresh %d/%d", i, slide.Support, slide.Mined, fresh.Support, fresh.Mined)
+		}
+		if got, want := dumpStore(t, slidePath), dumpStore(t, freshPath); got != want {
+			t.Fatalf("slide %d store diverged from fresh window store\n--- fresh ---\n%s--- slide ---\n%s", i, want, got)
+		}
+
+		r, err := store.Open(slidePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := r.Meta()
+		st := store.ReadStats(r).String()
+		r.Close() //nolint:errcheck
+		wantStart := maxDays - window + 1
+		if m.WindowStart != wantStart || m.WindowEnd != maxDays {
+			t.Fatalf("slide %d window provenance = %d..%d, want %d..%d", i, m.WindowStart, m.WindowEnd, wantStart, maxDays)
+		}
+		if m.Retired == 0 {
+			t.Fatalf("slide %d retired nothing; window never moved", i)
+		}
+		if m.Generation != i+1 || m.Parent != prev {
+			t.Fatalf("slide %d delta provenance not recorded: %+v", i, m)
+		}
+		if !strings.Contains(st, "window: units=") {
+			t.Fatalf("slide %d stats report missing window line:\n%s", i, st)
+		}
+		prev = slidePath
+	}
+}
+
+// TestMineTemporalWindowErrors pins the forward-only rule: a window
+// that would need days the parent already retired — wider than the
+// parent's, or no window at all against a windowed parent — is
+// rejected with a pointer at re-mining.
+func TestMineTemporalWindowErrors(t *testing.T) {
+	d := smallData(t)
+	dir := t.TempDir()
+	days, window, baseDays, _ := windowFixture(t)
+
+	basePath := filepath.Join(dir, "base.tnd")
+	baseOpts := temporalOpts()
+	baseOpts.Partition.MaxDays = baseDays
+	baseOpts.Window = window
+	baseOpts.StorePath = basePath
+	if _, err := MineTemporal(d, baseOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	wide := temporalOpts()
+	wide.Partition.MaxDays = days
+	wide.Window = baseDays // wider than the parent's window
+	wide.DeltaFrom = basePath
+	if _, err := MineTemporal(d, wide); err == nil || !strings.Contains(err.Error(), "cannot re-enter") {
+		t.Fatalf("widened window accepted: %v", err)
+	}
+
+	unwindowed := temporalOpts()
+	unwindowed.Partition.MaxDays = days
+	unwindowed.DeltaFrom = basePath
+	if _, err := MineTemporal(d, unwindowed); err == nil || !strings.Contains(err.Error(), "cannot re-enter") {
+		t.Fatalf("window-less run against a windowed parent accepted: %v", err)
+	}
+}

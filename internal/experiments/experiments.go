@@ -81,6 +81,14 @@ type Params struct {
 	// is still computed over the full dataset, so a day-limited run's
 	// transactions stay an exact prefix of the next day's.
 	Days int
+	// Window, when > 0, restricts RunFigure4 to the most recent
+	// Window days of the (possibly Days-limited) partition — the
+	// sliding-window regime (core TemporalMineOptions.Window).
+	// Combined with DeltaFrom the run slides the window: the days
+	// that fell off the front of the stored run are retired and the
+	// newly arrived days folded in, byte-identical to a fresh
+	// -window mine of the same days.
+	Window int
 	// Progress, when non-nil, receives one event per completed
 	// Apriori level of the headline figure miners (RunFigure2/3's
 	// structural repetitions, RunFigure4's temporal mine), tagged

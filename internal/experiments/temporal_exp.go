@@ -149,6 +149,7 @@ func RunFigure4(p Params) *Figure4Result {
 	opts.MaxEmbeddings = p.MaxEmbeddings
 	opts.StorePath = p.StorePath
 	opts.DeltaFrom = p.DeltaFrom
+	opts.Window = p.Window
 	opts.Progress = p.stageProgress("figure4")
 	opts.Logger = p.Logger
 	res, err := core.MineTemporal(p.Data, opts)
@@ -156,7 +157,7 @@ func RunFigure4(p Params) *Figure4Result {
 		panic(err)
 	}
 	out := &Figure4Result{
-		Transactions: len(res.Partition.Transactions),
+		Transactions: res.Mined,
 		Support:      res.Support,
 		NumPatterns:  len(res.Mining.Patterns),
 	}

@@ -98,23 +98,9 @@ func MineDelta(prior Prior, added []*graph.Graph, opts Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	byLevel := make(map[int]map[string]*Pattern, len(prior.Levels))
-	for edges, pats := range prior.Levels {
-		lvl := make(map[string]*Pattern, len(pats))
-		for i := range pats {
-			p := &pats[i]
-			if pattern.ApproxCode(p.Code) {
-				return nil, fmt.Errorf("%w: level %d holds approximate code %q (a version-1 store?) — delta mining needs exact canonical codes", ErrDeltaPrior, edges, p.Code)
-			}
-			if p.Graph == nil || p.Graph.NumEdges() != edges {
-				return nil, fmt.Errorf("%w: pattern %q filed under level %d has %d edges", ErrDeltaPrior, p.Code, edges, p.Graph.NumEdges())
-			}
-			if _, dup := lvl[p.Code]; dup {
-				return nil, fmt.Errorf("%w: two level-%d patterns with code %q — not a single-run store", ErrDeltaPrior, edges, p.Code)
-			}
-			lvl[p.Code] = p
-		}
-		byLevel[edges] = lvl
+	byLevel, err := validatePrior(prior)
+	if err != nil {
+		return nil, err
 	}
 	all := make([]*graph.Graph, 0, len(prior.Txns)+len(added))
 	all = append(all, prior.Txns...)
@@ -157,6 +143,34 @@ func MineDelta(prior Prior, added []*graph.Graph, opts Options) (*Result, error)
 		)
 	}
 	return m.res, nil
+}
+
+// validatePrior checks the structural preconditions every incremental
+// run (MineDelta, RetireDelta) shares — exact canonical codes,
+// patterns filed under their own edge count, at most one pattern per
+// code per level — and returns the prior indexed by level and code.
+// Violations wrap ErrDeltaPrior: the persisted run is unusable, not
+// the incoming change.
+func validatePrior(prior Prior) (map[int]map[string]*Pattern, error) {
+	byLevel := make(map[int]map[string]*Pattern, len(prior.Levels))
+	for edges, pats := range prior.Levels {
+		lvl := make(map[string]*Pattern, len(pats))
+		for i := range pats {
+			p := &pats[i]
+			if pattern.ApproxCode(p.Code) {
+				return nil, fmt.Errorf("%w: level %d holds approximate code %q (a version-1 store?) — delta mining needs exact canonical codes", ErrDeltaPrior, edges, p.Code)
+			}
+			if p.Graph == nil || p.Graph.NumEdges() != edges {
+				return nil, fmt.Errorf("%w: pattern %q filed under level %d has %d edges", ErrDeltaPrior, p.Code, edges, p.Graph.NumEdges())
+			}
+			if _, dup := lvl[p.Code]; dup {
+				return nil, fmt.Errorf("%w: two level-%d patterns with code %q — not a single-run store", ErrDeltaPrior, edges, p.Code)
+			}
+			lvl[p.Code] = p
+		}
+		byLevel[edges] = lvl
+	}
+	return byLevel, nil
 }
 
 // priorAt returns the parent run's pattern with the given exact code

@@ -1,10 +1,12 @@
 // Package ingest is the crash-safe continuous-ingest daemon behind
 // cmd/tndingest: it watches a spool directory (and accepts POSTed
 // batches) of JSON transaction batches, folds each arrival into the
-// current store generation with fsg.MineDelta, publishes generation
-// N+1 via write-to-temp + fsync + atomic rename with a journaled
-// intent record, triggers the serving layer's hot remount, and GCs
-// generations older than K.
+// current store generation with fsg.AdvanceWindow (retiring the
+// units that fall off a configured sliding window, or a pure
+// fsg.MineDelta append when Options.Window is 0), publishes
+// generation N+1 via write-to-temp + fsync + atomic rename with a
+// journaled intent record, triggers the serving layer's hot remount,
+// and GCs generations older than K.
 //
 // Every durability step runs through a faultfs.FS, so the crash-
 // matrix tests can kill the daemon at any filesystem operation and
@@ -44,6 +46,7 @@ import (
 	"tnkd/internal/faultfs"
 	"tnkd/internal/fsg"
 	"tnkd/internal/obs"
+	"tnkd/internal/pattern"
 	"tnkd/internal/store"
 )
 
@@ -106,6 +109,21 @@ type Options struct {
 	MaxCandidates int
 	MaxEmbeddings int
 	Parallelism   int
+
+	// Window, when > 0, caps the store at the most recent Window
+	// ingest units (batches; whatever the adopted seed store held
+	// counts as one unit). Each fold then *slides* the window: the
+	// arriving batch becomes a new unit, units beyond the cap retire
+	// off the front (their TIDs subtracted from every pattern column
+	// via fsg.AdvanceWindow, survivors renumbered), and the published
+	// generation is byte-identical to a fresh mine of exactly the
+	// window's transactions. The unit composition is persisted in
+	// Meta.WindowSizes, so a restarted daemon rebuilds the window
+	// from the store alone — retirement publishes are journaled and
+	// crash-recovered exactly like append folds. SupportFraction is
+	// computed over the window's transactions. 0 = append-only
+	// (supports only grow; the pre-window behaviour).
+	Window int
 
 	// KeepGenerations is GC's K: the current generation plus K-1
 	// predecessors survive (minimum 1; default 3). Keep it above 1 so
@@ -803,16 +821,44 @@ func (d *Daemon) applyBatch(name, key, sha string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("%w: rehydrate levels: %v", fsg.ErrDeltaPrior, err)
 	}
+	// Window accounting: the prior store's unit composition comes from
+	// its own metadata (a store without WindowSizes — a seed, or a
+	// pre-window generation — is one unit), the arriving batch appends
+	// a unit, and units beyond the cap retire off the front. All of it
+	// derives from (prior store, batch) alone, so a crash-recovering
+	// daemon recomputes the identical fold.
+	units := m.WindowSizes
+	if len(units) == 0 && len(priorTxns) > 0 {
+		units = []int{len(priorTxns)}
+	}
+	priorEnd := m.WindowEnd
+	if priorEnd == 0 {
+		priorEnd = len(units)
+	}
+	priorStart := m.WindowStart
+	if priorStart == 0 {
+		priorStart = 1
+	}
+	newUnits := append(append([]int(nil), units...), len(txns))
+	winStart, winEnd := priorStart, priorEnd+1
+	retireCount := 0
+	if d.opts.Window > 0 {
+		for len(newUnits) > d.opts.Window {
+			retireCount += newUnits[0]
+			newUnits = newUnits[1:]
+			winStart++
+		}
+	}
+
 	support := m.MinSupport
 	if d.opts.SupportFraction > 0 {
-		support = fsg.MinSupportFraction(len(priorTxns)+len(txns), d.opts.SupportFraction)
+		support = fsg.MinSupportFraction(len(priorTxns)-retireCount+len(txns), d.opts.SupportFraction)
 	} else if d.opts.MinSupport > 0 {
 		support = d.opts.MinSupport
 	}
 	prior := fsg.Prior{Txns: priorTxns, Levels: levels, MinSupport: m.MinSupport, Generation: m.Generation}
 
-	tmp := d.path(storeDir, storeName+".tmp")
-	w, err := store.CreateFS(d.fs, tmp, store.Meta{
+	meta := store.Meta{
 		Name:        m.Name,
 		Kind:        m.Kind,
 		MinSupport:  support,
@@ -821,11 +867,20 @@ func (d *Daemon) applyBatch(name, key, sha string, data []byte) error {
 		SourceBatch: name,
 		SourceSHA:   sha,
 		Note:        fmt.Sprintf("ingest fold of batch %s (+%d transactions)", name, len(txns)),
-	})
+	}
+	if d.opts.Window > 0 {
+		meta.WindowStart, meta.WindowEnd = winStart, winEnd
+		meta.Retired = retireCount
+		meta.WindowSizes = newUnits
+		meta.Note = fmt.Sprintf("ingest window slide on batch %s (+%d transactions, -%d retired, units %d..%d)",
+			name, len(txns), retireCount, winStart, winEnd)
+	}
+	tmp := d.path(storeDir, storeName+".tmp")
+	w, err := store.CreateFS(d.fs, tmp, meta)
 	if err != nil {
 		return err
 	}
-	whole := append(priorTxns[:len(priorTxns):len(priorTxns)], txns...)
+	whole := append(priorTxns[retireCount:len(priorTxns):len(priorTxns)], txns...)
 	if err := w.WriteTransactions(whole); err != nil {
 		w.Abort() //nolint:errcheck // crashed FS cannot clean up; recovery sweeps .tmp
 		return err
@@ -842,7 +897,11 @@ func (d *Daemon) applyBatch(name, key, sha string, data []byte) error {
 			return w.WriteLevel(lv.Edges, pats)
 		},
 	}
-	if _, err := fsg.MineDelta(prior, txns, fsgOpts); err != nil {
+	var retired pattern.TIDSet
+	for i := 0; i < retireCount; i++ {
+		retired.Add(i)
+	}
+	if _, err := fsg.AdvanceWindow(prior, txns, retired, fsgOpts); err != nil {
 		w.Abort() //nolint:errcheck
 		return err
 	}
@@ -880,7 +939,8 @@ func (d *Daemon) applyBatch(name, key, sha string, data []byte) error {
 	d.mGeneration.Set(int64(gen))
 	d.logger.Info("ingest: published generation",
 		"batch", name, "generation", gen, "store", storeName,
-		"transactions", len(txns), "fold_ms", float64(elapsed.Microseconds())/1000)
+		"transactions", len(txns), "retired", retireCount,
+		"fold_ms", float64(elapsed.Microseconds())/1000)
 	if err := d.journal.append(journalRecord{Op: "publish", Batch: name, SHA: sha, Gen: gen, Store: storeName, Unix: d.now().Unix()}); err != nil {
 		return err
 	}
@@ -1163,6 +1223,17 @@ type Status struct {
 	PendingRemount bool    `json:"pending_remount"`
 	LastError      string  `json:"last_error,omitempty"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// Window is the configured sliding-window width in batches (0 =
+	// append-only, the window never retires anything). The remaining
+	// window fields describe the currently served generation and come
+	// from its store metadata: WindowStart..WindowEnd are the 1-based
+	// unit bounds of the window, WindowUnits the batches currently
+	// inside it, and Retired the transactions the last slide retired.
+	Window      int `json:"window,omitempty"`
+	WindowStart int `json:"window_start,omitempty"`
+	WindowEnd   int `json:"window_end,omitempty"`
+	WindowUnits int `json:"window_units,omitempty"`
+	Retired     int `json:"retired,omitempty"`
 }
 
 // Status reports the daemon's health — safe to call concurrently with
@@ -1175,10 +1246,16 @@ func (d *Daemon) Status() Status {
 		PendingRemount: d.pendingRemount != "",
 		LastError:      d.lastErr,
 	}
+	st.Window = d.opts.Window
 	if d.reader != nil {
 		st.Store = filepath.Base(d.curPath)
 		st.Transactions = d.reader.NumTransactions()
 		st.Patterns = d.reader.NumPatterns()
+		m := d.reader.Meta()
+		st.WindowStart = m.WindowStart
+		st.WindowEnd = m.WindowEnd
+		st.WindowUnits = len(m.WindowSizes)
+		st.Retired = m.Retired
 	}
 	d.mu.Unlock()
 	st.Folds = d.mFolds.Value()

@@ -86,6 +86,30 @@ type TemporalResult struct {
 	FilteredByVertexLabels int
 }
 
+// WindowRange returns the transaction index range [lo, hi) covered by
+// the 1-based day window firstDay..lastDay — the day→TID translation
+// a sliding-window mine retires and re-thresholds by. Both bounds are
+// clamped to the processed days, so WindowRange(1, len(DayStarts))
+// spans every transaction; an inverted or out-of-range window yields
+// an empty range.
+func (r *TemporalResult) WindowRange(firstDay, lastDay int) (lo, hi int) {
+	n := len(r.DayStarts)
+	if firstDay < 1 {
+		firstDay = 1
+	}
+	if lastDay > n {
+		lastDay = n
+	}
+	if firstDay > lastDay {
+		return 0, 0
+	}
+	lo = r.DayStarts[firstDay-1]
+	if lastDay == n {
+		return lo, len(r.Transactions)
+	}
+	return lo, r.DayStarts[lastDay]
+}
+
 // Stats summarises the surviving transactions in Table 2/3 form.
 func (r *TemporalResult) Stats() graph.TransactionStats {
 	return graph.SummarizeTransactions(r.Transactions)

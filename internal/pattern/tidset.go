@@ -486,6 +486,91 @@ func countArrayInBitmap(arr []uint16, bm []uint64) int {
 	return n
 }
 
+// AndNot returns the set difference s \ o as a new set — the
+// word-parallel TID subtraction behind transaction retirement
+// (fsg.RetireDelta): matching bitmap chunks clear 64 members per
+// AND-NOT. Chunks of s with no counterpart in o copy over whole;
+// chunks whose difference comes out empty are dropped, so the result
+// keeps the canonical container invariant.
+func (s TIDSet) AndNot(o TIDSet) TIDSet {
+	var out TIDSet
+	j := 0
+	for i := range s.keys {
+		for j < len(o.keys) && o.keys[j] < s.keys[i] {
+			j++
+		}
+		if j == len(o.keys) || o.keys[j] != s.keys[i] {
+			c := s.cons[i].clone()
+			out.keys = append(out.keys, s.keys[i])
+			out.cons = append(out.cons, c)
+			out.card += c.n
+			continue
+		}
+		if c := andNotContainers(&s.cons[i], &o.cons[j]); c.n > 0 {
+			out.keys = append(out.keys, s.keys[i])
+			out.cons = append(out.cons, c)
+			out.card += c.n
+		}
+		j++
+	}
+	return out
+}
+
+func andNotContainers(a, b *tidContainer) tidContainer {
+	switch {
+	case a.bits != nil && b.bits != nil:
+		bitsOut := make([]uint64, tidWords)
+		n := 0
+		for w := range bitsOut {
+			bitsOut[w] = a.bits[w] &^ b.bits[w]
+			n += bits.OnesCount64(bitsOut[w])
+		}
+		c := tidContainer{bits: bitsOut, n: n}
+		c.canonical()
+		return c
+	case a.bits != nil:
+		// Bitmap minus array: copy the words, clear each array member.
+		bitsOut := append([]uint64(nil), a.bits...)
+		for _, v := range b.arr {
+			bitsOut[v>>6] &^= uint64(1) << (v & 63)
+		}
+		n := 0
+		for _, w := range bitsOut {
+			n += bits.OnesCount64(w)
+		}
+		c := tidContainer{bits: bitsOut, n: n}
+		c.canonical()
+		return c
+	case b.bits != nil:
+		// Array minus bitmap: keep the probes that miss.
+		arr := make([]uint16, 0, len(a.arr))
+		for _, v := range a.arr {
+			if b.bits[v>>6]&(uint64(1)<<(v&63)) == 0 {
+				arr = append(arr, v)
+			}
+		}
+		return tidContainer{arr: arr, n: len(arr)}
+	default:
+		// Both arrays: sorted merge, skipping common members.
+		arr := make([]uint16, 0, len(a.arr))
+		i, j := 0, 0
+		for i < len(a.arr) && j < len(b.arr) {
+			switch {
+			case a.arr[i] < b.arr[j]:
+				arr = append(arr, a.arr[i])
+				i++
+			case a.arr[i] > b.arr[j]:
+				j++
+			default:
+				i++
+				j++
+			}
+		}
+		arr = append(arr, a.arr[i:]...)
+		return tidContainer{arr: arr, n: len(arr)}
+	}
+}
+
 // Or returns the union of s and o as a new set.
 func (s TIDSet) Or(o TIDSet) TIDSet {
 	var out TIDSet
@@ -624,7 +709,11 @@ func (c *tidContainer) clone() tidContainer {
 }
 
 // Offset returns a new set with k added to every member — the
-// structural store's per-repetition TID shift.
+// structural store's per-repetition TID shift, and (with negative k)
+// the survivor renumbering after a prefix retirement (every member
+// must then be >= -k; a violation panics, since a negative TID can
+// never be a valid transaction index). Members shift in ascending
+// order, so the rebuild stays on Add's O(1) append fast path.
 func (s TIDSet) Offset(k int) TIDSet {
 	if k == 0 {
 		return s.Clone()

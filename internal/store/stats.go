@@ -111,6 +111,13 @@ func (s Stats) String() string {
 	if m.Parent != "" || m.Generation > 0 {
 		fmt.Fprintf(&b, "delta: generation=%d parent=%s\n", m.Generation, m.Parent)
 	}
+	if m.WindowStart > 0 || m.WindowEnd > 0 {
+		fmt.Fprintf(&b, "window: units=%d..%d retired=%d", m.WindowStart, m.WindowEnd, m.Retired)
+		if len(m.WindowSizes) > 0 {
+			fmt.Fprintf(&b, " sizes=%v", m.WindowSizes)
+		}
+		b.WriteByte('\n')
+	}
 	if m.Repetitions > 0 {
 		fmt.Fprintf(&b, "algorithm1: repetitions=%d partitions=%d strategy=%s seed=%d\n",
 			m.Repetitions, m.Partitions, m.Strategy, m.Seed)

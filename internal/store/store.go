@@ -141,6 +141,31 @@ type Meta struct {
 	SourceBatch string `json:"source_batch,omitempty"`
 	SourceSHA   string `json:"source_sha,omitempty"`
 
+	// Window provenance. A store produced by a sliding-window step
+	// (core AdvanceWindow paths) records which stretch of the source
+	// stream its transactions cover; append-only and full-mine stores
+	// leave all of these zero. Like the delta fields, they read back
+	// as zero values from older stores — no format-version bump.
+
+	// WindowStart/WindowEnd bound the window as 1-based ordinals of
+	// the pipeline's slide unit (days for the temporal pipeline,
+	// ingest batches for the daemon; the seed store is unit 1). Both
+	// zero = not a windowed store; WindowStart 1 with WindowEnd set =
+	// a windowed run that has not yet retired anything.
+	WindowStart int `json:"window_start,omitempty"`
+	WindowEnd   int `json:"window_end,omitempty"`
+	// Retired is the number of prior-generation transactions the step
+	// that wrote this store retired (0 for a pure append). The writer
+	// compacts: retired TIDs are gone and survivors are renumbered
+	// from 0, so the store is indistinguishable from a fresh mine of
+	// the window.
+	Retired int `json:"retired,omitempty"`
+	// WindowSizes is the per-unit transaction count of every unit
+	// still inside the window, oldest first (ingest daemon only). Its
+	// sum is the store's transaction count; a restarting daemon
+	// rebuilds the window composition from this field alone.
+	WindowSizes []int `json:"window_sizes,omitempty"`
+
 	// Algorithm 1 provenance (Kind "structural" only): the exact
 	// partitioning parameters of the run, which a structural delta
 	// (appending repetitions) must reproduce to keep the shared RNG
